@@ -1,0 +1,325 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/core"
+	"tipsy/internal/dataset"
+	"tipsy/internal/eval"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/netsim"
+	"tipsy/internal/pipeline"
+	"tipsy/internal/topology"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+func cmdSimulate(args []string) error {
+	fs := newFlagSet("simulate")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	days := fs.Int("days", 11, "days of telemetry to produce")
+	scale := fs.String("scale", "small", "environment scale: small | full")
+	out := fs.String("o", "telemetry.tipsy", "output bundle path")
+	fs.Parse(args)
+
+	metros := geo.World()
+	var topoCfg topology.GenConfig
+	var trafCfg traffic.Config
+	if *scale == "full" {
+		topoCfg = topology.DefaultGenConfig(*seed)
+		trafCfg = traffic.DefaultConfig(*seed + 10)
+	} else {
+		topoCfg = topology.TestGenConfig(*seed)
+		trafCfg = traffic.TestConfig(*seed + 10)
+		trafCfg.NFlows = 3000
+	}
+	simCfg := netsim.DefaultConfig(*seed + 20)
+	simCfg.HorizonHours = wan.Hour(*days * 24)
+	simCfg.OutagesPerLinkYear = 10
+
+	g := topology.Generate(topoCfg, metros)
+	w := traffic.Generate(trafCfg, g, metros)
+	sim := netsim.New(simCfg, g, metros, w)
+
+	agg := pipeline.NewAggregator(sim.GeoIP(), sim.DstMetadata)
+	sim.Run(netsim.RunOptions{From: 0, To: wan.Hour(*days * 24), Sink: agg})
+	recs := agg.Records()
+
+	var links []wan.Link
+	for _, id := range sim.Links() {
+		l, _ := sim.Link(id)
+		links = append(links, l)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.Save(f, &dataset.File{
+		Records:    recs,
+		Links:      links,
+		Anycast:    w.Anycast,
+		GeoEntries: sim.GeoIP().Entries(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d days: %d ASes, %d links, %d flows -> %d aggregated records in %s\n",
+		*days, g.Len(), sim.NumLinks(), len(w.Flows), len(recs), *out)
+	return nil
+}
+
+func loadBundle(path string) (*dataset.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(f)
+}
+
+func cmdInfo(args []string) error {
+	fs := newFlagSet("info")
+	in := fs.String("i", "telemetry.tipsy", "telemetry bundle path")
+	sample := fs.Int("sample", 0, "print N sample flow tuples usable with 'tipsy predict'")
+	fs.Parse(args)
+	b, err := loadBundle(*in)
+	if err != nil {
+		return err
+	}
+	if *sample > 0 {
+		seen := map[features.FlowFeatures]bool{}
+		for _, r := range b.Records {
+			if seen[r.Flow] {
+				continue
+			}
+			seen[r.Flow] = true
+			fmt.Printf("tipsy predict -src %s -as %d -region %d -svc %d\n",
+				bgp.FormatIP(r.Flow.Prefix+7), uint32(r.Flow.AS), r.Flow.Region, r.Flow.Type)
+			if len(seen) >= *sample {
+				break
+			}
+		}
+		return nil
+	}
+	var from, to wan.Hour
+	var bytes float64
+	for i, r := range b.Records {
+		if i == 0 || r.Hour < from {
+			from = r.Hour
+		}
+		if r.Hour >= to {
+			to = r.Hour + 1
+		}
+		bytes += r.Bytes
+	}
+	c := features.Cardinalities(b.Records)
+	fmt.Printf("records:  %d over hours [%d, %d) (%.1f days)\n", len(b.Records), from, to, float64(to-from)/24)
+	fmt.Printf("bytes:    %.3e\n", bytes)
+	fmt.Printf("links:    %d across %d anycast prefixes\n", len(b.Links), len(b.Anycast))
+	fmt.Printf("features: %d ASes, %d /24s, %d locations, %d regions, %d types\n",
+		c.AS, c.Prefix, c.Loc, c.Region, c.Type)
+	fmt.Printf("tuples:   A=%d AP=%d AL=%d\n", c.TuplesA, c.TuplesAP, c.TuplesAL)
+	return nil
+}
+
+func parseSet(s string) (features.Set, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return features.SetA, nil
+	case "AP":
+		return features.SetAP, nil
+	case "AL":
+		return features.SetAL, nil
+	}
+	return 0, fmt.Errorf("unknown feature set %q (want A, AP, or AL)", s)
+}
+
+func cmdTrain(args []string) error {
+	fs := newFlagSet("train")
+	in := fs.String("i", "telemetry.tipsy", "telemetry bundle path")
+	setName := fs.String("set", "AP", "feature set: A | AP | AL")
+	fromHour := fs.Int("from-hour", 0, "training window start (hours)")
+	toHour := fs.Int("to-hour", 1<<30, "training window end (hours, exclusive)")
+	out := fs.String("o", "model.tipsy", "output model path")
+	fs.Parse(args)
+
+	b, err := loadBundle(*in)
+	if err != nil {
+		return err
+	}
+	set, err := parseSet(*setName)
+	if err != nil {
+		return err
+	}
+	recs := dataset.Window(b.Records, wan.Hour(*fromHour), wan.Hour(*toHour))
+	if len(recs) == 0 {
+		return fmt.Errorf("no records in window [%d, %d)", *fromHour, *toHour)
+	}
+	h := core.TrainHistorical(set, recs, core.DefaultHistOpts())
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := h.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %d records: %d tuples, %d entries -> %s\n",
+		h.Name(), len(recs), h.NumTuples(), h.NumEntries(), *out)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := newFlagSet("predict")
+	in := fs.String("i", "telemetry.tipsy", "telemetry bundle path (for link metadata and Geo-IP)")
+	modelPath := fs.String("model", "model.tipsy", "trained model path")
+	src := fs.String("src", "", "source IPv4 address (dotted quad)")
+	asn := fs.Uint("as", 0, "source AS number")
+	region := fs.Uint("region", 0, "destination region id")
+	svc := fs.Uint("svc", 1, "destination service type id")
+	k := fs.Int("k", 3, "how many links to predict")
+	exclude := fs.String("exclude", "", "comma-separated link IDs to treat as unavailable")
+	bytes := fs.Float64("bytes", 1e9, "flow volume to split across links")
+	geoComplete := fs.Bool("geo", false, "apply geographic-distance completion (+G)")
+	fs.Parse(args)
+
+	b, err := loadBundle(*in)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	hist, err := core.LoadHistorical(mf)
+	if err != nil {
+		return err
+	}
+	srcAddr, err := parseIPv4(*src)
+	if err != nil {
+		return err
+	}
+	metros := geo.World()
+	geoip := geo.NewGeoIPFromEntries(metros, b.GeoEntries)
+	prefix := bgp.Slash24(srcAddr)
+	flow := features.FlowFeatures{
+		AS:     bgp.ASN(*asn),
+		Prefix: prefix,
+		Loc:    geoip.Lookup(prefix),
+		Region: wan.Region(*region),
+		Type:   wan.ServiceType(*svc),
+	}
+	excluded := map[wan.LinkID]bool{}
+	if *exclude != "" {
+		for _, part := range strings.Split(*exclude, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -exclude entry %q", part)
+			}
+			excluded[wan.LinkID(id)] = true
+		}
+	}
+	var model core.Predictor = hist
+	table := wan.NewTable(b.Links)
+	if *geoComplete {
+		model = core.NewGeoCompletion(hist, table, metros)
+	}
+	preds := model.Predict(core.Query{
+		Flow: flow, K: *k,
+		Exclude: func(l wan.LinkID) bool { return excluded[l] },
+	})
+	if len(preds) == 0 {
+		fmt.Println("no prediction: flow tuple unseen in training (try a coarser feature set or -geo)")
+		return nil
+	}
+	fmt.Printf("flow %v %s/24 loc%d -> region %d %v: predicted ingress links:\n",
+		flow.AS, bgp.FormatIP(flow.Prefix), flow.Loc, flow.Region, flow.Type)
+	for i, p := range preds {
+		l, ok := table.Link(p.Link)
+		router, peer := "?", "?"
+		if ok {
+			router = l.Router
+			peer = l.PeerAS.String()
+		}
+		fmt.Printf("  %d. link %-5d %-14s peer %-9s %5.1f%%  (%.3e bytes)\n",
+			i+1, p.Link, router, peer, p.Frac*100, p.Frac**bytes)
+	}
+	return nil
+}
+
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var out uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		out = out<<8 | uint32(v)
+	}
+	return out, nil
+}
+
+func cmdEval(args []string) error {
+	fs := newFlagSet("eval")
+	in := fs.String("i", "telemetry.tipsy", "telemetry bundle path")
+	trainDays := fs.Int("train-days", 8, "training window length in days")
+	fs.Parse(args)
+
+	b, err := loadBundle(*in)
+	if err != nil {
+		return err
+	}
+	split := wan.Hour(*trainDays * 24)
+	train := dataset.Window(b.Records, 0, split)
+	test := dataset.Window(b.Records, split, 1<<30)
+	if len(train) == 0 || len(test) == 0 {
+		return fmt.Errorf("split at hour %d leaves an empty window (train=%d test=%d records)",
+			split, len(train), len(test))
+	}
+	table := wan.NewTable(b.Links)
+	metros := geo.World()
+	hA := core.TrainHistorical(features.SetA, train, core.DefaultHistOpts())
+	hAP := core.TrainHistorical(features.SetAP, train, core.DefaultHistOpts())
+	hAL := core.TrainHistorical(features.SetAL, train, core.DefaultHistOpts())
+	models := []core.Predictor{
+		hA, hAP, hAL,
+		core.NewGeoCompletion(hAL, table, metros),
+		core.NewEnsemble(hAP, hAL, hA),
+		core.NewEnsemble(hAL, hAP, hA),
+	}
+	var rows []eval.AccuracyRow
+	for _, set := range []features.Set{features.SetA, features.SetAP, features.SetAL} {
+		o := core.NewOracle(set, test)
+		acc := eval.Accuracy(o, test, eval.Options{Ks: eval.StandardKs, GroupBy: eval.GroupBySet(set)})
+		rows = append(rows, eval.AccuracyRow{Model: o.Name(), Oracle: true,
+			Top1: acc[1] * 100, Top2: acc[2] * 100, Top3: acc[3] * 100})
+		for _, m := range models {
+			if h, ok := m.(*core.Historical); ok && h.Set() == set {
+				acc := eval.Accuracy(m, test, eval.Options{Ks: eval.StandardKs})
+				rows = append(rows, eval.AccuracyRow{Model: m.Name(),
+					Top1: acc[1] * 100, Top2: acc[2] * 100, Top3: acc[3] * 100})
+			}
+		}
+	}
+	for _, m := range models {
+		if _, ok := m.(*core.Historical); !ok {
+			acc := eval.Accuracy(m, test, eval.Options{Ks: eval.StandardKs})
+			rows = append(rows, eval.AccuracyRow{Model: m.Name(),
+				Top1: acc[1] * 100, Top2: acc[2] * 100, Top3: acc[3] * 100})
+		}
+	}
+	fmt.Print(eval.FormatAccuracyTable(
+		fmt.Sprintf("Overall prediction accuracy (%d train days, %d test records)", *trainDays, len(test)),
+		rows))
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tipsy/internal/features"
+)
+
+func TestParseIPv4(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		ok   bool
+	}{
+		{"11.0.3.7", 0x0b000307, true},
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"256.1.1.1", 0, false},
+		{"1.2.3", 0, false},
+		{"", 0, false},
+		{"a.b.c.d", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseIPv4(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("parseIPv4(%q) = %x, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	for in, want := range map[string]features.Set{
+		"A": features.SetA, "ap": features.SetAP, "Al": features.SetAL,
+	} {
+		got, err := parseSet(in)
+		if err != nil || got != want {
+			t.Errorf("parseSet(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSet("APL"); err == nil {
+		t.Error("APL should be rejected (equivalent to AP, not a separate set)")
+	}
+}
+
+// TestCLIWorkflow exercises the whole command surface end to end on a
+// tiny simulation: simulate -> info -> train -> eval -> suspicious ->
+// depeer. Output goes to files in a temp dir; the commands run in
+// process.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "t.tipsy")
+	model := filepath.Join(dir, "m.tipsy")
+
+	if err := cmdSimulate([]string{"-seed", "9", "-days", "5", "-o", bundle}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if _, err := os.Stat(bundle); err != nil {
+		t.Fatalf("bundle missing: %v", err)
+	}
+	if err := cmdInfo([]string{"-i", bundle}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := cmdTrain([]string{"-i", bundle, "-set", "AP", "-to-hour", "96", "-o", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdEval([]string{"-i", bundle, "-train-days", "4"}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := cmdSuspicious([]string{"-i", bundle, "-train-days", "4"}); err != nil {
+		t.Fatalf("suspicious: %v", err)
+	}
+	if err := cmdDepeer([]string{"-i", bundle, "-train-days", "4"}); err != nil {
+		t.Fatalf("depeer: %v", err)
+	}
+	// Errors surface cleanly for missing files.
+	if err := cmdInfo([]string{"-i", filepath.Join(dir, "missing")}); err == nil {
+		t.Error("missing bundle should error")
+	}
+	if err := cmdTrain([]string{"-i", bundle, "-from-hour", "500", "-to-hour", "501", "-o", model}); err == nil ||
+		!strings.Contains(err.Error(), "no records") {
+		t.Errorf("empty window should error, got %v", err)
+	}
+}

@@ -1,0 +1,327 @@
+// Command tipsyd runs TIPSY as an online prediction service, the way
+// §4 of the paper deploys it: a simulated WAN produces telemetry
+// continuously, models retrain daily on a sliding window, and a JSON
+// HTTP API answers the congestion mitigation system's what-if
+// queries.
+//
+//	tipsyd -listen :8080 -seed 1 -train-days 8 -day-every 10s
+//
+// API:
+//
+//	GET  /healthz            liveness and model freshness
+//	GET  /v1/model           model metadata
+//	GET  /v1/links           link directory
+//	POST /v1/predict         predict ingress links for flows
+//
+// The -day-every flag compresses simulated time: every interval the
+// daemon simulates one more day of traffic and retrains.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/core"
+	"tipsy/internal/dataset"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/netsim"
+	"tipsy/internal/pipeline"
+	"tipsy/internal/topology"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+type server struct {
+	sim       *netsim.Sim
+	metros    *geo.DB
+	trainDays int
+
+	mu        sync.RWMutex
+	model     core.Predictor
+	hist      *core.Historical // AL component, for size reporting
+	records   []features.Record
+	simulated wan.Hour
+	trainedAt wan.Hour
+	tuples    int
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		trainDays = flag.Int("train-days", 8, "sliding training window (days)")
+		dayEvery  = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
+	)
+	flag.Parse()
+
+	log.Printf("bootstrapping: simulating %d days of telemetry", *trainDays)
+	s := buildServer(*seed, *trainDays)
+
+	go func() {
+		for range time.Tick(*dayEvery) {
+			s.advanceDays(1)
+			s.retrain()
+		}
+	}()
+
+	log.Printf("tipsyd listening on %s (%d links, one simulated day per %v)",
+		*listen, s.sim.NumLinks(), *dayEvery)
+	log.Fatal(http.ListenAndServe(*listen, s.mux()))
+}
+
+// buildServer constructs the simulated WAN, bootstraps trainDays of
+// telemetry, and trains the first serving model.
+func buildServer(seed int64, trainDays int) *server {
+	metros := geo.World()
+	g := topology.Generate(topology.TestGenConfig(seed), metros)
+	w := traffic.Generate(traffic.TestConfig(seed+10), g, metros)
+	cfg := netsim.DefaultConfig(seed + 20)
+	cfg.HorizonHours = wan.Hour(400 * 24)
+	cfg.OutagesPerLinkYear = 10
+	sim := netsim.New(cfg, g, metros, w)
+
+	s := &server{sim: sim, metros: metros, trainDays: trainDays}
+	s.advanceDays(trainDays)
+	s.retrain()
+	return s
+}
+
+// mux routes the API.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/links", s.handleLinks)
+	mux.HandleFunc("GET /v1/sample", s.handleSample)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+// advanceDays simulates n more days of traffic into the record store.
+func (s *server) advanceDays(n int) {
+	s.mu.Lock()
+	from := s.simulated
+	s.mu.Unlock()
+	to := from + wan.Hour(n*24)
+	agg := pipeline.NewAggregator(s.sim.GeoIP(), s.sim.DstMetadata)
+	s.sim.Run(netsim.RunOptions{From: from, To: to, Sink: agg})
+	recs := agg.Records()
+	s.mu.Lock()
+	s.records = append(s.records, recs...)
+	s.simulated = to
+	// Trim the store to what retraining needs.
+	cutoff := to - wan.Hour(s.trainDays*24)
+	s.records = dataset.Window(s.records, cutoff, to)
+	s.mu.Unlock()
+}
+
+// retrain rebuilds the serving ensemble from the sliding window —
+// the paper's daily retraining cadence.
+func (s *server) retrain() {
+	s.mu.RLock()
+	recs := s.records
+	now := s.simulated
+	s.mu.RUnlock()
+	if len(recs) == 0 {
+		return
+	}
+	hA := core.TrainHistorical(features.SetA, recs, core.DefaultHistOpts())
+	hAP := core.TrainHistorical(features.SetAP, recs, core.DefaultHistOpts())
+	hAL := core.TrainHistorical(features.SetAL, recs, core.DefaultHistOpts())
+	geoModel := core.NewGeoCompletion(hAL, s.sim, s.metros)
+	model := core.NewEnsemble(hAP, geoModel, hA)
+	s.mu.Lock()
+	s.model = model
+	s.hist = hAP
+	s.trainedAt = now
+	s.tuples = hAP.NumTuples() + hAL.NumTuples() + hA.NumTuples()
+	s.mu.Unlock()
+	log.Printf("retrained at simulated hour %d on %d records (%d tuples)", now, len(recs), s.tuples)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"status":           "ok",
+		"simulated_hour":   s.simulated,
+		"model_trained_at": s.trainedAt,
+		"model_ready":      s.model != nil,
+	})
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.model == nil {
+		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"name":       s.model.Name(),
+		"tuples":     s.tuples,
+		"trained_at": s.trainedAt,
+		"train_days": s.trainDays,
+	})
+}
+
+func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	type linkJSON struct {
+		ID       wan.LinkID `json:"id"`
+		Router   string     `json:"router"`
+		Metro    uint16     `json:"metro"`
+		PeerAS   uint32     `json:"peer_as"`
+		Capacity float64    `json:"capacity_bps"`
+	}
+	var out []linkJSON
+	for _, id := range s.sim.Links() {
+		l, _ := s.sim.Link(id)
+		out = append(out, linkJSON{l.ID, l.Router, uint16(l.Metro), uint32(l.PeerAS), l.Capacity})
+	}
+	writeJSON(w, out)
+}
+
+// handleSample returns a few flow tuples present in the training
+// window, ready to paste into /v1/predict bodies — handy for demos
+// and smoke tests.
+func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	recs := s.records
+	s.mu.RUnlock()
+	type sample struct {
+		SrcAddr string  `json:"src_addr"`
+		SrcAS   uint32  `json:"src_as"`
+		Region  uint16  `json:"region"`
+		Service uint8   `json:"service"`
+		Bytes   float64 `json:"bytes"`
+	}
+	var out []sample
+	seen := map[features.FlowFeatures]bool{}
+	for _, rec := range recs {
+		if seen[rec.Flow] {
+			continue
+		}
+		seen[rec.Flow] = true
+		out = append(out, sample{
+			SrcAddr: fmt.Sprintf("%d.%d.%d.%d", byte(rec.Flow.Prefix>>24),
+				byte(rec.Flow.Prefix>>16), byte(rec.Flow.Prefix>>8), 7),
+			SrcAS: uint32(rec.Flow.AS), Region: uint16(rec.Flow.Region),
+			Service: uint8(rec.Flow.Type), Bytes: rec.Bytes,
+		})
+		if len(out) >= 5 {
+			break
+		}
+	}
+	writeJSON(w, out)
+}
+
+// predictRequest mirrors how the CMS queries TIPSY (§4): a set of
+// flows (tuples and bytes) plus the links about to be withdrawn.
+type predictRequest struct {
+	Flows []struct {
+		SrcAddr string  `json:"src_addr"`
+		SrcAS   uint32  `json:"src_as"`
+		Region  uint16  `json:"region"`
+		Service uint8   `json:"service"`
+		Bytes   float64 `json:"bytes"`
+	} `json:"flows"`
+	ExcludeLinks []wan.LinkID `json:"exclude_links"`
+	K            int          `json:"k"`
+}
+
+type predictResponse struct {
+	Results []struct {
+		Flow  int `json:"flow"`
+		Links []struct {
+			Link  wan.LinkID `json:"link"`
+			Frac  float64    `json:"frac"`
+			Bytes float64    `json:"bytes"`
+		} `json:"links"`
+	} `json:"results"`
+	// Shifted aggregates predicted bytes per target link across all
+	// queried flows — the number the CMS compares against capacity.
+	Shifted map[wan.LinkID]float64 `json:"shifted"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	s.mu.RLock()
+	model := s.model
+	s.mu.RUnlock()
+	if model == nil {
+		http.Error(w, "model not ready", http.StatusServiceUnavailable)
+		return
+	}
+	excluded := make(map[wan.LinkID]bool, len(req.ExcludeLinks))
+	for _, l := range req.ExcludeLinks {
+		excluded[l] = true
+	}
+	resp := predictResponse{Shifted: make(map[wan.LinkID]float64)}
+	for i, f := range req.Flows {
+		addr, err := parseIPv4(f.SrcAddr)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("flow %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		prefix := bgp.Slash24(addr)
+		flow := features.FlowFeatures{
+			AS: bgp.ASN(f.SrcAS), Prefix: prefix, Loc: s.sim.GeoIP().Lookup(prefix),
+			Region: wan.Region(f.Region), Type: wan.ServiceType(f.Service),
+		}
+		preds := model.Predict(core.Query{
+			Flow: flow, K: req.K,
+			Exclude: func(l wan.LinkID) bool { return excluded[l] },
+		})
+		var result struct {
+			Flow  int `json:"flow"`
+			Links []struct {
+				Link  wan.LinkID `json:"link"`
+				Frac  float64    `json:"frac"`
+				Bytes float64    `json:"bytes"`
+			} `json:"links"`
+		}
+		result.Flow = i
+		for _, p := range preds {
+			result.Links = append(result.Links, struct {
+				Link  wan.LinkID `json:"link"`
+				Frac  float64    `json:"frac"`
+				Bytes float64    `json:"bytes"`
+			}{p.Link, p.Frac, p.Frac * f.Bytes})
+			resp.Shifted[p.Link] += p.Frac * f.Bytes
+		}
+		resp.Results = append(resp.Results, result)
+	}
+	writeJSON(w, resp)
+}
+
+func parseIPv4(s string) (uint32, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	if a|b|c|d < 0 || a > 255 || b > 255 || c > 255 || d > 255 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}

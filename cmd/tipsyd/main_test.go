@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *server
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() { srv = buildServer(3, 4) })
+	if srv == nil {
+		t.Fatal("server build failed")
+	}
+	return srv
+}
+
+func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	return rr
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	s := testServer(t)
+	rr := get(t, s, "/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["model_ready"] != true {
+		t.Errorf("model not ready after bootstrap: %v", body)
+	}
+	if body["simulated_hour"].(float64) != 4*24 {
+		t.Errorf("simulated hour = %v, want 96", body["simulated_hour"])
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	s := testServer(t)
+	rr := get(t, s, "/v1/model")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	var body map[string]any
+	json.Unmarshal(rr.Body.Bytes(), &body)
+	if body["name"] != "Hist_AP/AL+G/A" {
+		t.Errorf("model name %v", body["name"])
+	}
+	if body["tuples"].(float64) <= 0 {
+		t.Error("no tuples reported")
+	}
+}
+
+func TestLinksEndpoint(t *testing.T) {
+	s := testServer(t)
+	rr := get(t, s, "/v1/links")
+	var links []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &links); err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != s.sim.NumLinks() {
+		t.Errorf("returned %d links, sim has %d", len(links), s.sim.NumLinks())
+	}
+	if links[0]["router"] == "" || links[0]["capacity_bps"].(float64) <= 0 {
+		t.Errorf("link metadata incomplete: %v", links[0])
+	}
+}
+
+func TestPredictEndToEnd(t *testing.T) {
+	s := testServer(t)
+	// Grab a real tuple from the sample endpoint, then ask for a
+	// prediction for it — including the exclusion variant.
+	rr := get(t, s, "/v1/sample")
+	var samples []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &samples); err != nil || len(samples) == 0 {
+		t.Fatalf("sample endpoint: %v / %s", err, rr.Body)
+	}
+	reqBody, _ := json.Marshal(map[string]any{
+		"flows": []map[string]any{{
+			"src_addr": samples[0]["src_addr"],
+			"src_as":   samples[0]["src_as"],
+			"region":   samples[0]["region"],
+			"service":  samples[0]["service"],
+			"bytes":    1e9,
+		}},
+		"k": 3,
+	})
+	req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(reqBody))
+	rr = httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || len(resp.Results[0].Links) == 0 {
+		t.Fatalf("no prediction for a known tuple: %s", rr.Body)
+	}
+	top := resp.Results[0].Links[0].Link
+
+	// Excluding the top link must produce a different answer (or no
+	// answer), never the excluded link.
+	reqBody, _ = json.Marshal(map[string]any{
+		"flows": []map[string]any{{
+			"src_addr": samples[0]["src_addr"],
+			"src_as":   samples[0]["src_as"],
+			"region":   samples[0]["region"],
+			"service":  samples[0]["service"],
+			"bytes":    1e9,
+		}},
+		"exclude_links": []uint32{uint32(top)},
+		"k":             3,
+	})
+	req = httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(reqBody))
+	rr = httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	resp = predictResponse{} // Unmarshal merges into maps; start clean.
+	json.Unmarshal(rr.Body.Bytes(), &resp)
+	for _, l := range resp.Results[0].Links {
+		if l.Link == top {
+			t.Error("excluded link returned")
+		}
+	}
+	if _, ok := resp.Shifted[top]; ok {
+		t.Error("excluded link in shifted aggregate")
+	}
+}
+
+func TestPredictRejectsBadInput(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader([]byte("{not json")))
+	rr := httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", rr.Code)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"flows": []map[string]any{{"src_addr": "not-an-ip", "src_as": 1}},
+	})
+	req = httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+	rr = httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad address: status %d", rr.Code)
+	}
+}
+
+func TestRetrainAdvancesModel(t *testing.T) {
+	s := testServer(t)
+	before := s.trainedAt
+	s.advanceDays(1)
+	s.retrain()
+	if s.trainedAt != before+24 {
+		t.Errorf("trainedAt %d -> %d, want +24", before, s.trainedAt)
+	}
+	// The sliding window keeps only trainDays of records.
+	if len(s.records) == 0 {
+		t.Fatal("record store empty after retrain")
+	}
+	cutoff := s.simulated - 24*4
+	for _, r := range s.records {
+		if r.Hour < cutoff {
+			t.Fatalf("record at hour %d survived the %d cutoff", r.Hour, cutoff)
+		}
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	if v, err := parseIPv4("11.0.3.7"); err != nil || v != 0x0b000307 {
+		t.Errorf("parseIPv4 = %x, %v", v, err)
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.999", "a.b.c.d"} {
+		if _, err := parseIPv4(bad); err == nil {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Ingestion: the wire-level data collection path of §4.1. The
+// simulated edge routers export IPFIX (RFC 7011) over TCP to a
+// collector and stream BMP (RFC 7854) to a monitoring station; the
+// pipeline joins and aggregates the decoded records, and a model
+// trains on the result — end to end over real sockets and real
+// encodings, nothing handed across in memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"tipsy/internal/bmp"
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/ipfix"
+	"tipsy/internal/netsim"
+	"tipsy/internal/pipeline"
+	"tipsy/internal/topology"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+const simHours = 48
+
+func main() {
+	metros := geo.World()
+	graph := topology.Generate(topology.TestGenConfig(9), metros)
+	workload := traffic.Generate(traffic.TestConfig(9), graph, metros)
+	sim := netsim.New(netsim.DefaultConfig(9), graph, metros, workload)
+
+	// --- IPFIX collector listening on loopback ------------------------
+	ipfixLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	collector := ipfix.NewCollector()
+	agg := pipeline.NewAggregator(sim.GeoIP(), sim.DstMetadata)
+	var collectorWG sync.WaitGroup
+	collectorWG.Add(1)
+	go func() {
+		defer collectorWG.Done()
+		conn, err := ipfixLn.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		err = collector.ReadStream(conn, func(domain uint32, rec ipfix.FlowRecord) {
+			// The export timestamp carries the simulated hour.
+			agg.Record(wan.Hour(rec.StartSecs/3600), wan.LinkID(rec.Ingress), &rec)
+		})
+		if err != nil {
+			log.Fatalf("collector: %v", err)
+		}
+	}()
+
+	// --- BMP station listening on loopback ----------------------------
+	bmpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	station := bmp.NewStation()
+	var stationWG sync.WaitGroup
+	stationWG.Add(1)
+	go func() {
+		defer stationWG.Done()
+		conn, err := bmpLn.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		// All routers multiplex over one session here; the router ID
+		// travels in the per-peer header, so the stream ID is fixed.
+		if err := station.ReadStream(1, conn); err != nil {
+			log.Fatalf("station: %v", err)
+		}
+	}()
+
+	// --- Router side: dial the collectors and export ------------------
+	ipfixConn, err := net.Dial("tcp", ipfixLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bmpConn, err := net.Dial("tcp", bmpLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// BMP: session bring-up and table dump for every peering link.
+	sim.EmitBMPBootstrap(0, func(routerID uint32, msg []byte) {
+		if _, err := bmpConn.Write(msg); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// IPFIX: one exporting process per observation domain would be
+	// faithful but noisy; a shared exporter per router works the same
+	// way on the wire. Flow records ride the socket fully encoded.
+	exporter := ipfix.NewExporter(ipfixConn, 1)
+	if err := exporter.AnnounceSampling(4096, 0); err != nil {
+		log.Fatal(err)
+	}
+	exported := 0
+	sim.Run(netsim.RunOptions{
+		From: 0, To: simHours,
+		Sink: netsim.RecordSinkFunc(func(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
+			exported++
+			if err := exporter.Export(rec, uint32(h)*3600); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		OnHourEnd: func(h wan.Hour) {
+			sim.EmitBMPHour(h, func(routerID uint32, msg []byte) {
+				bmpConn.Write(msg)
+			})
+		},
+	})
+	if err := exporter.Flush(simHours * 3600); err != nil {
+		log.Fatal(err)
+	}
+	ipfixConn.Close()
+	bmpConn.Close()
+	collectorWG.Wait()
+	stationWG.Wait()
+
+	msgs, recs, lost := collector.Stats()
+	fmt.Printf("IPFIX: exported %d flow records, decoded %d from %d messages (%d lost), sampling 1/%d announced\n",
+		exported, recs, msgs, lost, collector.SamplingInterval(1))
+	mon, ups, downs := station.Stats()
+	fmt.Printf("BMP:   %d sessions, %d route monitoring messages, %d peer-ups, %d peer-downs\n",
+		station.NumSessions(), mon, ups, downs)
+
+	// --- Train on what came off the wire -------------------------------
+	records := agg.Records()
+	model := core.TrainHistorical(features.SetAP, records, core.DefaultHistOpts())
+	fmt.Printf("pipeline: %d hourly aggregates -> %s with %d tuples\n",
+		len(records), model.Name(), model.NumTuples())
+	if int(recs) != exported || lost != 0 {
+		log.Fatal("wire path lost records")
+	}
+	fmt.Println("wire-level ingestion path verified: router -> TCP -> collector -> pipeline -> model")
+}

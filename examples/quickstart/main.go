@@ -1,0 +1,89 @@
+// Quickstart: simulate a small Internet+WAN, train TIPSY on a few
+// days of telemetry, and predict where a flow will ingress — with and
+// without a withdrawal on its favourite link.
+package main
+
+import (
+	"fmt"
+
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/netsim"
+	"tipsy/internal/pipeline"
+	"tipsy/internal/topology"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+func main() {
+	// 1. Build a synthetic Internet around a cloud WAN.
+	metros := geo.World()
+	graph := topology.Generate(topology.TestGenConfig(1), metros)
+	workload := traffic.Generate(traffic.TestConfig(1), graph, metros)
+	sim := netsim.New(netsim.DefaultConfig(1), graph, metros, workload)
+	fmt.Printf("simulated WAN: %d ASes, %d peering links, %d flow aggregates\n",
+		graph.Len(), sim.NumLinks(), len(workload.Flows))
+
+	// 2. Run four days of traffic through the IPFIX pipeline.
+	agg := pipeline.NewAggregator(sim.GeoIP(), sim.DstMetadata)
+	sim.Run(netsim.RunOptions{From: 0, To: 4 * 24, Sink: agg})
+	records := agg.Records()
+	fmt.Printf("collected %d hourly flow aggregates\n", len(records))
+
+	// 3. Train the standard ensemble: most specific model first.
+	hA := core.TrainHistorical(features.SetA, records, core.DefaultHistOpts())
+	hAP := core.TrainHistorical(features.SetAP, records, core.DefaultHistOpts())
+	hAL := core.TrainHistorical(features.SetAL, records, core.DefaultHistOpts())
+	model := core.NewEnsemble(hAP, core.NewGeoCompletion(hAL, sim, metros), hA)
+	fmt.Printf("trained %s (%d AP tuples)\n", model.Name(), hAP.NumTuples())
+
+	// 4. Predict for the biggest flow whose source AS has alternate
+	// peering links (so the what-if below has somewhere to go).
+	var big *traffic.FlowSpec
+	for i := range workload.Flows {
+		f := &workload.Flows[i]
+		if len(sim.LinksOfAS(f.SrcAS)) < 2 {
+			continue
+		}
+		if big == nil || f.BaseBps > big.BaseBps {
+			big = f
+		}
+	}
+	flow := features.FlowFeatures{
+		AS:     big.SrcAS,
+		Prefix: big.SrcPrefix,
+		Loc:    sim.GeoIP().Lookup(big.SrcPrefix),
+		Region: big.DstRegion,
+		Type:   big.DstType,
+	}
+	fmt.Printf("\nflow %v -> region %d (%v), %.0f Mbps:\n",
+		flow.AS, flow.Region, flow.Type, big.BaseBps/1e6)
+	preds := model.Predict(core.Query{Flow: flow, K: 3})
+	printPreds(sim, preds)
+
+	// 5. What if the top link loses the prefix? Ask again with the
+	// link excluded — this is the what-if query the congestion
+	// mitigation system runs before every withdrawal.
+	if len(preds) > 0 {
+		top := preds[0].Link
+		fmt.Printf("\nafter withdrawing the prefix from link %d:\n", top)
+		printPreds(sim, model.Predict(core.Query{
+			Flow: flow, K: 3,
+			Exclude: func(l wan.LinkID) bool { return l == top },
+		}))
+	}
+}
+
+func printPreds(sim *netsim.Sim, preds []core.Prediction) {
+	if len(preds) == 0 {
+		fmt.Println("  (no prediction)")
+		return
+	}
+	for i, p := range preds {
+		l, _ := sim.Link(p.Link)
+		m := sim.Metros().MustMetro(l.Metro)
+		fmt.Printf("  %d. link %-4d %-14s %-12s peer %-8v %5.1f%%\n",
+			i+1, p.Link, l.Router, m.Name, l.PeerAS, p.Frac*100)
+	}
+}

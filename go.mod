@@ -1,0 +1,3 @@
+module tipsy
+
+go 1.22

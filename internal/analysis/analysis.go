@@ -1,0 +1,225 @@
+// Package analysis implements the additional operational uses of
+// TIPSY sketched in the paper's conclusions (§8): flagging suspicious
+// ingress traffic — flows arriving on peering links where it is
+// exceedingly unlikely they would arrive, e.g. spoofed sources that
+// claim to be a US national lab yet enter on another continent — and
+// identifying de-peering candidates, peers whose links add little
+// value because the traffic they carry would be predicted to arrive
+// elsewhere anyway.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// Suspicious is one flagged observation: traffic for a known flow
+// tuple arrived on a link the model considers (nearly) impossible.
+type Suspicious struct {
+	Flow  features.FlowFeatures
+	Link  wan.LinkID
+	Bytes float64
+	// Likelihood is the model's probability mass for this link at
+	// the time of observation (0 when the link is absent entirely).
+	Likelihood float64
+	// DistanceKm is how far the arrival link is from the flow's
+	// registered source location — the "national lab arriving
+	// overseas" signal.
+	DistanceKm float64
+}
+
+// SuspiciousOptions tunes detection.
+type SuspiciousOptions struct {
+	// MaxLikelihood flags arrivals whose predicted probability on the
+	// observed link is at or below this value.
+	MaxLikelihood float64
+	// MinBytes ignores trickles (stray packets are expected and
+	// byte-weighting exists to suppress them, §3.3).
+	MinBytes float64
+	// MinDistanceKm additionally requires the arrival to be
+	// geographically implausible. 0 disables the geographic filter.
+	MinDistanceKm float64
+}
+
+// DefaultSuspiciousOptions returns conservative detection thresholds.
+func DefaultSuspiciousOptions() SuspiciousOptions {
+	return SuspiciousOptions{MaxLikelihood: 0.001, MinBytes: 1e6, MinDistanceKm: 3000}
+}
+
+// FindSuspicious scans observed records against a trained model and
+// returns the flagged arrivals, most anomalous (largest, least
+// likely) first. Only tuples the model knows can be judged — a flow
+// never seen in training is new, not suspicious.
+func FindSuspicious(model core.Predictor, recs []features.Record,
+	dir wan.Directory, metros *geo.DB, opts SuspiciousOptions) []Suspicious {
+	type key struct {
+		flow features.FlowFeatures
+		link wan.LinkID
+	}
+	bytes := make(map[key]float64)
+	for _, r := range recs {
+		bytes[key{r.Flow, r.Link}] += r.Bytes
+	}
+	var out []Suspicious
+	for k, b := range bytes {
+		if b < opts.MinBytes {
+			continue
+		}
+		preds := model.Predict(core.Query{Flow: k.flow})
+		if len(preds) == 0 {
+			continue // unknown tuple: cannot judge
+		}
+		likelihood := 0.0
+		for _, p := range preds {
+			if p.Link == k.link {
+				likelihood = p.Frac
+				break
+			}
+		}
+		if likelihood > opts.MaxLikelihood {
+			continue
+		}
+		dist := 0.0
+		if l, ok := dir.Link(k.link); ok && k.flow.Loc != 0 {
+			dist = metros.Distance(k.flow.Loc, l.Metro)
+		}
+		if opts.MinDistanceKm > 0 && dist < opts.MinDistanceKm {
+			continue
+		}
+		out = append(out, Suspicious{
+			Flow: k.flow, Link: k.link, Bytes: b,
+			Likelihood: likelihood, DistanceKm: dist,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return lessFlowLink(out[i], out[j])
+	})
+	return out
+}
+
+func lessFlowLink(a, b Suspicious) bool {
+	if a.Flow.AS != b.Flow.AS {
+		return a.Flow.AS < b.Flow.AS
+	}
+	if a.Flow.Prefix != b.Flow.Prefix {
+		return a.Flow.Prefix < b.Flow.Prefix
+	}
+	return a.Link < b.Link
+}
+
+// DePeeringCandidate summarizes one peer AS's value: how much of the
+// traffic currently on its links would, per the model, still arrive
+// (on other links) if the peering were removed.
+type DePeeringCandidate struct {
+	Peer  bgp.ASN
+	Links int
+	// Bytes carried on the peer's links in the analyzed window.
+	Bytes float64
+	// Redirectable is the fraction of those bytes the model predicts
+	// would land on other ASes' links with the peering gone.
+	Redirectable float64
+}
+
+// DePeeringCandidates ranks peers by how dispensable their links are:
+// low traffic and high redirectability means de-peering would save
+// operational overhead at little cost (§8). Peers carrying more than
+// maxShare of total bytes are skipped outright.
+func DePeeringCandidates(model core.Predictor, recs []features.Record,
+	dir wan.Directory, maxShare float64) []DePeeringCandidate {
+	linkPeer := make(map[wan.LinkID]bgp.ASN)
+	peerLinks := make(map[bgp.ASN]map[wan.LinkID]bool)
+	for _, id := range dir.Links() {
+		l, _ := dir.Link(id)
+		linkPeer[id] = l.PeerAS
+		if peerLinks[l.PeerAS] == nil {
+			peerLinks[l.PeerAS] = map[wan.LinkID]bool{}
+		}
+		peerLinks[l.PeerAS][id] = true
+	}
+	var total float64
+	peerBytes := make(map[bgp.ASN]float64)
+	type key struct {
+		flow features.FlowFeatures
+		peer bgp.ASN
+	}
+	flowBytes := make(map[key]float64)
+	for _, r := range recs {
+		total += r.Bytes
+		peer := linkPeer[r.Link]
+		peerBytes[peer] += r.Bytes
+		flowBytes[key{r.Flow, peer}] += r.Bytes
+	}
+
+	redirectable := make(map[bgp.ASN]float64)
+	for k, b := range flowBytes {
+		mine := peerLinks[k.peer]
+		preds := model.Predict(core.Query{
+			Flow: k.flow, K: 3,
+			Exclude: func(l wan.LinkID) bool { return mine[l] },
+		})
+		frac := 0.0
+		for _, p := range preds {
+			frac += p.Frac
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		redirectable[k.peer] += b * frac
+	}
+
+	var out []DePeeringCandidate
+	for peer, b := range peerBytes {
+		if total > 0 && b/total > maxShare {
+			continue
+		}
+		red := 0.0
+		if b > 0 {
+			red = redirectable[peer] / b
+		}
+		out = append(out, DePeeringCandidate{
+			Peer: peer, Links: len(peerLinks[peer]), Bytes: b, Redirectable: red,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Most dispensable first: high redirectability, low volume.
+		si := out[i].Redirectable - out[i].Bytes/(total+1)
+		sj := out[j].Redirectable - out[j].Bytes/(total+1)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// FormatSuspicious renders flagged arrivals for operators.
+func FormatSuspicious(items []Suspicious, dir wan.Directory, limit int) string {
+	var b strings.Builder
+	b.WriteString("suspicious ingress (candidates for DoS scrubbing):\n")
+	if len(items) == 0 {
+		b.WriteString("  (none)\n")
+		return b.String()
+	}
+	for i, s := range items {
+		if limit > 0 && i >= limit {
+			break
+		}
+		router := "?"
+		if l, ok := dir.Link(s.Link); ok {
+			router = l.Router
+		}
+		fmt.Fprintf(&b, "  %v %s/24 -> link %d (%s): %.2e bytes, likelihood %.4f, %.0f km off\n",
+			s.Flow.AS, bgp.FormatIP(s.Flow.Prefix), s.Link, router, s.Bytes, s.Likelihood, s.DistanceKm)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// metroID looks a metro up by name.
+func metroID(t *testing.T, db *geo.DB, name string) geo.MetroID {
+	t.Helper()
+	for _, m := range db.All() {
+		if m.Name == name {
+			return m.ID
+		}
+	}
+	t.Fatalf("metro %q missing", name)
+	return 0
+}
+
+func setup(t *testing.T) (*wan.Table, *geo.DB, *core.Historical, features.FlowFeatures, geo.MetroID, geo.MetroID) {
+	t.Helper()
+	metros := geo.World()
+	seattle := metroID(t, metros, "Seattle")
+	tokyo := metroID(t, metros, "Tokyo")
+	dir := wan.NewTable([]wan.Link{
+		{ID: 1, Router: "sea-er1", Metro: seattle, PeerAS: 10, Capacity: 100e9},
+		{ID: 2, Router: "tok-er1", Metro: tokyo, PeerAS: 20, Capacity: 100e9},
+		{ID: 3, Router: "sea-er2", Metro: seattle, PeerAS: 10, Capacity: 100e9},
+	})
+	// A US flow that always arrives in Seattle.
+	flow := features.FlowFeatures{AS: 10, Prefix: 0x0b000100, Loc: seattle, Region: 1, Type: 1}
+	train := []features.Record{
+		{Hour: 0, Flow: flow, Link: 1, Bytes: 1e9},
+		{Hour: 1, Flow: flow, Link: 3, Bytes: 2e8},
+	}
+	model := core.TrainHistorical(features.SetAP, train, core.DefaultHistOpts())
+	return dir, metros, model, flow, seattle, tokyo
+}
+
+func TestFindSuspiciousFlagsImplausibleArrival(t *testing.T) {
+	dir, metros, model, flow, _, _ := setup(t)
+	// Observed: the "Seattle" flow shows up in Tokyo with real volume.
+	obs := []features.Record{
+		{Hour: 100, Flow: flow, Link: 2, Bytes: 5e8},
+		{Hour: 100, Flow: flow, Link: 1, Bytes: 1e9}, // normal arrival too
+	}
+	got := FindSuspicious(model, obs, dir, metros, DefaultSuspiciousOptions())
+	if len(got) != 1 {
+		t.Fatalf("want exactly the Tokyo arrival flagged, got %+v", got)
+	}
+	s := got[0]
+	if s.Link != 2 || s.Likelihood != 0 {
+		t.Errorf("flagged wrong arrival: %+v", s)
+	}
+	if s.DistanceKm < 5000 {
+		t.Errorf("Seattle->Tokyo distance %f km implausible", s.DistanceKm)
+	}
+	out := FormatSuspicious(got, dir, 5)
+	if !strings.Contains(out, "tok-er1") {
+		t.Errorf("format missing router: %s", out)
+	}
+}
+
+func TestFindSuspiciousIgnoresTrickles(t *testing.T) {
+	dir, metros, model, flow, _, _ := setup(t)
+	obs := []features.Record{{Hour: 100, Flow: flow, Link: 2, Bytes: 10}} // stray packet
+	if got := FindSuspicious(model, obs, dir, metros, DefaultSuspiciousOptions()); len(got) != 0 {
+		t.Errorf("stray packet flagged: %+v", got)
+	}
+}
+
+func TestFindSuspiciousIgnoresUnknownTuples(t *testing.T) {
+	dir, metros, model, _, seattle, _ := setup(t)
+	novel := features.FlowFeatures{AS: 999, Prefix: 0x0b00ff00, Loc: seattle, Region: 1, Type: 1}
+	obs := []features.Record{{Hour: 100, Flow: novel, Link: 2, Bytes: 1e9}}
+	if got := FindSuspicious(model, obs, dir, metros, DefaultSuspiciousOptions()); len(got) != 0 {
+		t.Errorf("novel tuple flagged (new != suspicious): %+v", got)
+	}
+}
+
+func TestFindSuspiciousGeographicFilter(t *testing.T) {
+	dir, metros, model, flow, _, _ := setup(t)
+	// Arrival on the parallel Seattle link (same metro) is unlikely by
+	// the model but geographically fine — with the distance filter on,
+	// it must not be flagged.
+	obs := []features.Record{{Hour: 100, Flow: flow, Link: 3, Bytes: 5e8}}
+	opts := DefaultSuspiciousOptions()
+	opts.MaxLikelihood = 0.5 // link 3 carries ~17% in training: below this
+	if got := FindSuspicious(model, obs, dir, metros, opts); len(got) != 0 {
+		t.Errorf("same-metro arrival flagged despite distance filter: %+v", got)
+	}
+	opts.MinDistanceKm = 0
+	if got := FindSuspicious(model, obs, dir, metros, opts); len(got) != 1 {
+		t.Errorf("with the filter off the unlikely arrival should flag: %+v", got)
+	}
+}
+
+func TestDePeeringCandidates(t *testing.T) {
+	metros := geo.World()
+	seattle := metroID(t, metros, "Seattle")
+	dir := wan.NewTable([]wan.Link{
+		{ID: 1, Router: "a", Metro: seattle, PeerAS: 10},
+		{ID: 2, Router: "b", Metro: seattle, PeerAS: 20},
+		{ID: 3, Router: "c", Metro: seattle, PeerAS: 30},
+	})
+	// Flow X rides peer 10 but was also seen on peer 20's link:
+	// peer 10 is redirectable. Flow Y exists only on peer 30.
+	fx := features.FlowFeatures{AS: 100, Prefix: 0x0b000100, Loc: seattle, Region: 1, Type: 1}
+	fy := features.FlowFeatures{AS: 200, Prefix: 0x0b000200, Loc: seattle, Region: 1, Type: 1}
+	recs := []features.Record{
+		{Hour: 0, Flow: fx, Link: 1, Bytes: 8e8},
+		{Hour: 1, Flow: fx, Link: 2, Bytes: 2e8},
+		{Hour: 0, Flow: fy, Link: 3, Bytes: 9e8},
+	}
+	model := core.TrainHistorical(features.SetAP, recs, core.DefaultHistOpts())
+	cands := DePeeringCandidates(model, recs, dir, 1.0)
+	if len(cands) != 3 {
+		t.Fatalf("want 3 peers, got %+v", cands)
+	}
+	byPeer := map[bgp.ASN]DePeeringCandidate{}
+	for _, c := range cands {
+		byPeer[c.Peer] = c
+	}
+	if byPeer[10].Redirectable < 0.99 {
+		t.Errorf("peer 10 fully redirectable, got %.2f", byPeer[10].Redirectable)
+	}
+	if byPeer[30].Redirectable > 0.01 {
+		t.Errorf("peer 30 irreplaceable, got %.2f", byPeer[30].Redirectable)
+	}
+	if cands[len(cands)-1].Peer != 30 {
+		t.Errorf("the irreplaceable peer should rank least dispensable: %+v", cands)
+	}
+}
+
+func TestDePeeringSkipsMajorPeers(t *testing.T) {
+	metros := geo.World()
+	seattle := metroID(t, metros, "Seattle")
+	dir := wan.NewTable([]wan.Link{
+		{ID: 1, Metro: seattle, PeerAS: 10},
+		{ID: 2, Metro: seattle, PeerAS: 20},
+	})
+	f := features.FlowFeatures{AS: 100, Prefix: 0x0b000100, Loc: seattle, Region: 1, Type: 1}
+	recs := []features.Record{
+		{Hour: 0, Flow: f, Link: 1, Bytes: 9e9},
+		{Hour: 0, Flow: f, Link: 2, Bytes: 1e8},
+	}
+	model := core.TrainHistorical(features.SetAP, recs, core.DefaultHistOpts())
+	cands := DePeeringCandidates(model, recs, dir, 0.5)
+	for _, c := range cands {
+		if c.Peer == 10 {
+			t.Errorf("peer carrying 99%% of bytes must be skipped: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package bgp
+
+import (
+	"sort"
+)
+
+// Relationship classifies how a route was learned, following the
+// Gao-Rexford model: routes from customers are preferred over routes
+// from peers, which are preferred over routes from providers, because
+// customer routes earn revenue while provider routes cost it.
+type Relationship uint8
+
+const (
+	// RelCustomer marks a route learned from a customer AS.
+	RelCustomer Relationship = iota
+	// RelPeer marks a route learned from a settlement-free peer.
+	RelPeer
+	// RelProvider marks a route learned from a transit provider.
+	RelProvider
+	// RelOrigin marks a locally originated route.
+	RelOrigin
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	case RelOrigin:
+		return "origin"
+	}
+	return "unknown"
+}
+
+// LocalPref returns the conventional LOCAL_PREF encoding of the
+// relationship preference (higher is better).
+func (r Relationship) LocalPref() uint32 {
+	switch r {
+	case RelOrigin:
+		return 400
+	case RelCustomer:
+		return 300
+	case RelPeer:
+		return 200
+	default:
+		return 100
+	}
+}
+
+// ExportTo implements the Gao-Rexford export rule: a route is exported
+// to a neighbor of class to iff the route was learned from a customer
+// (or originated locally), or the neighbor is a customer.
+func (r Relationship) ExportTo(to Relationship) bool {
+	return r == RelCustomer || r == RelOrigin || to == RelCustomer
+}
+
+// Route is a path to a destination prefix as held in a RIB.
+type Route struct {
+	Prefix  Prefix
+	Peer    ASN   // neighbor the route was learned from (0 for origin)
+	ASPath  []ASN // path excluding the local AS
+	NextHop uint32
+	MED     uint32
+	Rel     Relationship
+	// IGPCost is the hot-potato input: the intradomain cost from the
+	// deciding router to the route's exit point. In the substrate it is
+	// derived from great-circle metro distance.
+	IGPCost uint32
+	// TieBreak is the final deterministic discriminator (lowest wins);
+	// it stands in for the neighbor BGP identifier.
+	TieBreak uint32
+}
+
+// Better reports whether a should be preferred over b by the BGP
+// decision process used in the substrate:
+//
+//  1. higher LOCAL_PREF (relationship class)
+//  2. shorter AS_PATH
+//  3. lower MED (compared regardless of neighbor, as many large
+//     networks configure always-compare-med)
+//  4. lower IGP cost to the exit (hot potato)
+//  5. lowest tie-break identifier
+func (a *Route) Better(b *Route) bool {
+	if a.Rel.LocalPref() != b.Rel.LocalPref() {
+		return a.Rel.LocalPref() > b.Rel.LocalPref()
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	if a.IGPCost != b.IGPCost {
+		return a.IGPCost < b.IGPCost
+	}
+	return a.TieBreak < b.TieBreak
+}
+
+// HasLoop reports whether as appears in the route's AS path, which
+// would make importing the route a forwarding loop.
+func (r *Route) HasLoop(as ASN) bool {
+	for _, hop := range r.ASPath {
+		if hop == as {
+			return true
+		}
+	}
+	return false
+}
+
+// RIB is a routing information base holding, per destination prefix,
+// every candidate route (the union of Adj-RIB-In across peers) and
+// exposing best-path selection. The zero value is ready to use.
+type RIB struct {
+	routes map[Prefix][]*Route
+}
+
+// Add installs or replaces the route from (peer, prefix). A RIB keeps
+// at most one route per (prefix, peer, next-hop) triple, mirroring the
+// per-session Adj-RIB-In of RFC 4271 §3.2 with multi-session peers
+// distinguished by next hop.
+func (r *RIB) Add(rt *Route) {
+	if r.routes == nil {
+		r.routes = make(map[Prefix][]*Route)
+	}
+	list := r.routes[rt.Prefix]
+	for i, old := range list {
+		if old.Peer == rt.Peer && old.NextHop == rt.NextHop {
+			list[i] = rt
+			return
+		}
+	}
+	r.routes[rt.Prefix] = append(list, rt)
+}
+
+// Withdraw removes the route for prefix learned from (peer, nextHop)
+// and reports whether a route was removed.
+func (r *RIB) Withdraw(prefix Prefix, peer ASN, nextHop uint32) bool {
+	list := r.routes[prefix]
+	for i, rt := range list {
+		if rt.Peer == peer && rt.NextHop == nextHop {
+			list[i] = list[len(list)-1]
+			r.routes[prefix] = list[:len(list)-1]
+			if len(r.routes[prefix]) == 0 {
+				delete(r.routes, prefix)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// WithdrawPeer removes every route learned from peer (session reset)
+// and returns the affected prefixes.
+func (r *RIB) WithdrawPeer(peer ASN) []Prefix {
+	var affected []Prefix
+	for p, list := range r.routes {
+		kept := list[:0]
+		for _, rt := range list {
+			if rt.Peer != peer {
+				kept = append(kept, rt)
+			}
+		}
+		if len(kept) != len(list) {
+			affected = append(affected, p)
+		}
+		if len(kept) == 0 {
+			delete(r.routes, p)
+		} else {
+			r.routes[p] = kept
+		}
+	}
+	return affected
+}
+
+// Best returns the best route for prefix, or nil if none is known.
+func (r *RIB) Best(prefix Prefix) *Route {
+	var best *Route
+	for _, rt := range r.routes[prefix] {
+		if best == nil || rt.Better(best) {
+			best = rt
+		}
+	}
+	return best
+}
+
+// Candidates returns all routes for prefix ordered best-first. The
+// returned slice is freshly allocated.
+func (r *RIB) Candidates(prefix Prefix) []*Route {
+	list := r.routes[prefix]
+	out := make([]*Route, len(list))
+	copy(out, list)
+	sort.Slice(out, func(i, j int) bool { return out[i].Better(out[j]) })
+	return out
+}
+
+// Lookup performs longest-prefix-match for ip over every installed
+// prefix and returns the best route of the most specific covering
+// prefix, or nil.
+func (r *RIB) Lookup(ip uint32) *Route {
+	var bestPfx Prefix
+	found := false
+	for p := range r.routes {
+		if p.Contains(ip) && (!found || p.Len > bestPfx.Len) {
+			bestPfx, found = p, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return r.Best(bestPfx)
+}
+
+// Prefixes returns every prefix with at least one route, in
+// deterministic (sorted) order.
+func (r *RIB) Prefixes() []Prefix {
+	out := make([]Prefix, 0, len(r.routes))
+	for p := range r.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Len < out[j].Len
+	})
+	return out
+}
+
+// Len reports the number of prefixes with at least one route.
+func (r *RIB) Len() int { return len(r.routes) }

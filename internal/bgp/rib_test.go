@@ -1,0 +1,225 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rt(prefix Prefix, peer ASN, rel Relationship, pathLen int, igp, tie uint32) *Route {
+	path := make([]ASN, pathLen)
+	for i := range path {
+		path[i] = ASN(1000 + i)
+	}
+	return &Route{Prefix: prefix, Peer: peer, NextHop: uint32(peer), ASPath: path, Rel: rel, IGPCost: igp, TieBreak: tie}
+}
+
+var pfx = MakePrefix(V4(100, 0, 0, 0), 10)
+
+func TestDecisionRelationshipDominates(t *testing.T) {
+	cust := rt(pfx, 1, RelCustomer, 5, 9, 9)
+	peer := rt(pfx, 2, RelPeer, 1, 0, 0)
+	prov := rt(pfx, 3, RelProvider, 1, 0, 0)
+	if !cust.Better(peer) || !cust.Better(prov) || !peer.Better(prov) {
+		t.Error("customer > peer > provider ordering violated")
+	}
+}
+
+func TestDecisionPathLength(t *testing.T) {
+	short := rt(pfx, 1, RelPeer, 2, 9, 9)
+	long := rt(pfx, 2, RelPeer, 3, 0, 0)
+	if !short.Better(long) {
+		t.Error("shorter AS path should win within a relationship class")
+	}
+}
+
+func TestDecisionMED(t *testing.T) {
+	low := rt(pfx, 1, RelPeer, 2, 9, 9)
+	low.MED = 10
+	high := rt(pfx, 2, RelPeer, 2, 0, 0)
+	high.MED = 20
+	if !low.Better(high) {
+		t.Error("lower MED should win")
+	}
+}
+
+func TestDecisionHotPotato(t *testing.T) {
+	near := rt(pfx, 1, RelPeer, 2, 100, 9)
+	far := rt(pfx, 2, RelPeer, 2, 5000, 0)
+	if !near.Better(far) {
+		t.Error("lower IGP cost (hot potato) should win")
+	}
+}
+
+func TestDecisionTieBreak(t *testing.T) {
+	a := rt(pfx, 1, RelPeer, 2, 100, 1)
+	b := rt(pfx, 2, RelPeer, 2, 100, 2)
+	if !a.Better(b) || b.Better(a) {
+		t.Error("tie break must be a strict total order")
+	}
+}
+
+func TestDecisionTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	routes := make([]*Route, 50)
+	for i := range routes {
+		routes[i] = rt(pfx, ASN(i), Relationship(rng.Intn(3)), rng.Intn(4), uint32(rng.Intn(3)), uint32(i))
+	}
+	// Antisymmetry: for distinct tie-breaks exactly one direction wins.
+	for i, a := range routes {
+		for j, b := range routes {
+			if i == j {
+				continue
+			}
+			if a.Better(b) == b.Better(a) {
+				t.Fatalf("Better not antisymmetric for %d,%d", i, j)
+			}
+		}
+	}
+	// Transitivity spot check.
+	for n := 0; n < 2000; n++ {
+		a, b, c := routes[rng.Intn(50)], routes[rng.Intn(50)], routes[rng.Intn(50)]
+		if a.Better(b) && b.Better(c) && !a.Better(c) {
+			t.Fatal("Better not transitive")
+		}
+	}
+}
+
+func TestExportRule(t *testing.T) {
+	cases := []struct {
+		from, to Relationship
+		want     bool
+	}{
+		{RelCustomer, RelProvider, true}, // customer routes go everywhere
+		{RelCustomer, RelPeer, true},
+		{RelCustomer, RelCustomer, true},
+		{RelOrigin, RelPeer, true},   // own routes go everywhere
+		{RelPeer, RelCustomer, true}, // everything goes to customers
+		{RelPeer, RelPeer, false},    // no peer-to-peer transit
+		{RelPeer, RelProvider, false},
+		{RelProvider, RelPeer, false}, // no provider-to-peer transit
+		{RelProvider, RelProvider, false},
+		{RelProvider, RelCustomer, true},
+	}
+	for _, c := range cases {
+		if got := c.from.ExportTo(c.to); got != c.want {
+			t.Errorf("ExportTo(%v -> %v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestRIBAddWithdraw(t *testing.T) {
+	var rib RIB
+	a := rt(pfx, 1, RelPeer, 2, 0, 1)
+	b := rt(pfx, 2, RelCustomer, 4, 0, 2)
+	rib.Add(a)
+	rib.Add(b)
+	if rib.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 prefix", rib.Len())
+	}
+	if best := rib.Best(pfx); best != b {
+		t.Errorf("best route should be the customer route, got %+v", best)
+	}
+	if !rib.Withdraw(pfx, 2, uint32(2)) {
+		t.Fatal("withdraw of existing route failed")
+	}
+	if best := rib.Best(pfx); best != a {
+		t.Error("after withdrawal the peer route should be best")
+	}
+	if rib.Withdraw(pfx, 2, uint32(2)) {
+		t.Error("double withdrawal should report false")
+	}
+	rib.Withdraw(pfx, 1, uint32(1))
+	if rib.Best(pfx) != nil {
+		t.Error("prefix with no routes should have nil best")
+	}
+	if rib.Len() != 0 {
+		t.Error("empty prefix entry should be removed")
+	}
+}
+
+func TestRIBReplaceSamePeer(t *testing.T) {
+	var rib RIB
+	rib.Add(rt(pfx, 1, RelPeer, 5, 0, 1))
+	rib.Add(rt(pfx, 1, RelPeer, 2, 0, 1)) // implicit replace, same peer+nexthop
+	if got := len(rib.Candidates(pfx)); got != 1 {
+		t.Fatalf("same-session re-announcement should replace, have %d routes", got)
+	}
+	if got := rib.Best(pfx); len(got.ASPath) != 2 {
+		t.Error("replacement did not take effect")
+	}
+}
+
+func TestRIBCandidatesSorted(t *testing.T) {
+	var rib RIB
+	for i := 0; i < 10; i++ {
+		rib.Add(rt(pfx, ASN(i+1), Relationship(i%3), i%4, uint32(i%2), uint32(i)))
+	}
+	cands := rib.Candidates(pfx)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Better(cands[i-1]) {
+			t.Fatalf("candidates not sorted best-first at %d", i)
+		}
+	}
+}
+
+func TestRIBWithdrawPeer(t *testing.T) {
+	var rib RIB
+	p2 := MakePrefix(V4(200, 0, 0, 0), 8)
+	rib.Add(rt(pfx, 1, RelPeer, 1, 0, 1))
+	rib.Add(rt(p2, 1, RelPeer, 1, 0, 1))
+	rib.Add(rt(p2, 2, RelPeer, 1, 0, 2))
+	affected := rib.WithdrawPeer(1)
+	if len(affected) != 2 {
+		t.Fatalf("session reset should affect 2 prefixes, got %d", len(affected))
+	}
+	if rib.Best(pfx) != nil {
+		t.Error("pfx should have lost its only route")
+	}
+	if rib.Best(p2) == nil {
+		t.Error("p2 should retain the route from peer 2")
+	}
+}
+
+func TestRIBLookupLongestMatch(t *testing.T) {
+	var rib RIB
+	wide := rt(MakePrefix(V4(10, 0, 0, 0), 8), 1, RelPeer, 1, 0, 1)
+	narrow := rt(MakePrefix(V4(10, 9, 0, 0), 16), 2, RelPeer, 1, 0, 2)
+	rib.Add(wide)
+	rib.Add(narrow)
+	if got := rib.Lookup(V4(10, 9, 1, 1)); got != narrow {
+		t.Error("lookup should prefer the /16")
+	}
+	if got := rib.Lookup(V4(10, 200, 1, 1)); got != wide {
+		t.Error("lookup should fall back to the /8")
+	}
+	if got := rib.Lookup(V4(11, 0, 0, 1)); got != nil {
+		t.Error("lookup with no covering prefix should be nil")
+	}
+}
+
+func TestRIBHasLoop(t *testing.T) {
+	r := rt(pfx, 1, RelPeer, 3, 0, 1)
+	if !r.HasLoop(1001) {
+		t.Error("1001 is on the path")
+	}
+	if r.HasLoop(9999) {
+		t.Error("9999 is not on the path")
+	}
+}
+
+func TestRIBPrefixesDeterministic(t *testing.T) {
+	var rib RIB
+	for i := 0; i < 20; i++ {
+		rib.Add(rt(MakePrefix(uint32(i)<<24, 8), 1, RelPeer, 1, 0, 1))
+	}
+	a := rib.Prefixes()
+	b := rib.Prefixes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Prefixes() ordering not deterministic")
+		}
+		if i > 0 && a[i].Addr < a[i-1].Addr {
+			t.Fatal("Prefixes() not sorted")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package bgp
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pipePair returns two connected sessions over an in-memory pipe.
+func pipePair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	a, b := net.Pipe()
+	sa := NewSession(a, 64500, 1, 90)
+	sb := NewSession(b, 64496, 2, 90)
+	errc := make(chan error, 2)
+	go func() { errc <- sa.Establish() }()
+	go func() { errc <- sb.Establish() }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("establish: %v", err)
+		}
+	}
+	t.Cleanup(func() { sa.Close(); sb.Close() })
+	return sa, sb
+}
+
+func TestSessionHandshake(t *testing.T) {
+	sa, sb := pipePair(t)
+	if sa.State() != StateEstablished || sb.State() != StateEstablished {
+		t.Fatalf("states: %v / %v", sa.State(), sb.State())
+	}
+	if sa.PeerOpen().AS != 64496 || sb.PeerOpen().AS != 64500 {
+		t.Errorf("peer identities wrong: %v / %v", sa.PeerOpen().AS, sb.PeerOpen().AS)
+	}
+}
+
+func TestSessionUpdateTransport(t *testing.T) {
+	sa, sb := pipePair(t)
+	want := &Update{
+		Withdrawn: []Prefix{MakePrefix(V4(40, 3, 0, 0), 16)},
+	}
+	done := make(chan any, 1)
+	go func() {
+		msg, err := sb.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- msg
+	}()
+	if err := sa.SendUpdate(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if err, ok := got.(error); ok {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("update mismatch: %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update never arrived")
+	}
+}
+
+func TestSessionKeepalive(t *testing.T) {
+	sa, sb := pipePair(t)
+	go sa.SendKeepalive()
+	msg, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(Keepalive); !ok {
+		t.Fatalf("got %T", msg)
+	}
+}
+
+func TestSessionNotificationCloses(t *testing.T) {
+	sa, sb := pipePair(t)
+	go sa.Notify(6, 2, nil) // Cease / Administrative Shutdown
+	msg, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := msg.(*Notification)
+	if !ok || n.Code != 6 {
+		t.Fatalf("got %T %+v", msg, msg)
+	}
+	if sb.State() != StateClosed {
+		t.Error("receiver should close after NOTIFICATION")
+	}
+	// The sender closes right after its write completes; allow the
+	// goroutine a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for sa.State() != StateClosed && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sa.State() != StateClosed {
+		t.Error("sender should close after NOTIFICATION")
+	}
+	if err := sb.SendUpdate(&Update{}); err != ErrNotEstablished {
+		t.Errorf("send on closed session: %v", err)
+	}
+}
+
+func TestSessionSendBeforeEstablish(t *testing.T) {
+	a, _ := net.Pipe()
+	s := NewSession(a, 1, 1, 90)
+	if err := s.SendUpdate(&Update{}); err != ErrNotEstablished {
+		t.Errorf("err = %v, want ErrNotEstablished", err)
+	}
+	if err := s.SendKeepalive(); err != ErrNotEstablished {
+		t.Errorf("err = %v, want ErrNotEstablished", err)
+	}
+	if _, err := s.Recv(); err != ErrNotEstablished {
+		t.Errorf("err = %v, want ErrNotEstablished", err)
+	}
+}
+
+func TestSessionOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		upd *Update
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		s := NewSession(conn, 64496, 9, 90)
+		if err := s.Establish(); err != nil {
+			done <- result{nil, err}
+			return
+		}
+		msg, err := s.Recv()
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		done <- result{msg.(*Update), nil}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(conn, 64500, 8, 90)
+	if err := s.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := &Update{Withdrawn: []Prefix{MakePrefix(V4(40, 0, 0, 0), 10)}}
+	if err := s.SendUpdate(want); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !reflect.DeepEqual(r.upd, want) {
+		t.Errorf("TCP update mismatch: %+v", r.upd)
+	}
+}

@@ -1,0 +1,332 @@
+// Package bmp implements the BGP Monitoring Protocol (RFC 7854)
+// subset TIPSY's substrate uses: message framing for Initiation,
+// Termination, Peer Up, Peer Down, and Route Monitoring messages, and
+// a monitoring station that maintains a route view.
+//
+// As in the paper (§4.1), BMP data is used for debugging and
+// non-operational analysis such as the AS-distance CDFs (Figures 2
+// and 3) — it never feeds model training or execution.
+package bmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tipsy/internal/bgp"
+)
+
+// Version is the BMP protocol version (RFC 7854 §4.1).
+const Version = 3
+
+// Message types, RFC 7854 §4.
+const (
+	TypeRouteMonitoring  = 0
+	TypeStatisticsReport = 1
+	TypePeerDown         = 2
+	TypePeerUp           = 3
+	TypeInitiation       = 4
+	TypeTermination      = 5
+)
+
+// Initiation/Termination information TLV types.
+const (
+	TLVString   = 0
+	TLVSysDescr = 1
+	TLVSysName  = 2
+	// TLVReason is the Termination reason TLV.
+	TLVReason = 1
+)
+
+// Header sizes.
+const (
+	commonHeaderLen  = 6
+	perPeerHeaderLen = 42
+)
+
+// Peer Down reason codes (RFC 7854 §4.9).
+const (
+	ReasonLocalNotification    = 1
+	ReasonLocalNoNotification  = 2
+	ReasonRemoteNotification   = 3
+	ReasonRemoteNoNotification = 4
+)
+
+// Errors returned by Decode.
+var (
+	ErrShort      = errors.New("bmp: truncated message")
+	ErrBadVersion = errors.New("bmp: unsupported version")
+)
+
+// PeerHeader is the per-peer header present on peer-scoped messages.
+type PeerHeader struct {
+	Type          uint8
+	Flags         uint8
+	Distinguisher uint64
+	// Address is the peer's IPv4 address (the substrate is
+	// IPv4-only); it occupies the low 4 bytes of the 16-byte wire
+	// field per RFC 7854 with the V flag clear.
+	Address        uint32
+	AS             bgp.ASN
+	BGPID          uint32
+	Timestamp      uint32 // seconds (simulated)
+	TimestampMicro uint32
+}
+
+// RouteMonitoring carries one BGP UPDATE as seen on a monitored
+// session.
+type RouteMonitoring struct {
+	Peer   PeerHeader
+	Update *bgp.Update
+}
+
+// PeerUp announces a monitored session coming up.
+type PeerUp struct {
+	Peer       PeerHeader
+	LocalAddr  uint32
+	LocalPort  uint16
+	RemotePort uint16
+	SentOpen   *bgp.Open
+	RecvOpen   *bgp.Open
+}
+
+// PeerDown announces a monitored session going down.
+type PeerDown struct {
+	Peer   PeerHeader
+	Reason uint8
+	Data   []byte
+}
+
+// Initiation announces a router starting to send BMP.
+type Initiation struct {
+	SysName  string
+	SysDescr string
+}
+
+// Termination announces a router stopping BMP.
+type Termination struct {
+	Reason uint16
+}
+
+func appendCommonHeader(dst []byte, msgType uint8, bodyLen int) []byte {
+	dst = append(dst, Version)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(commonHeaderLen+bodyLen))
+	return append(dst, msgType)
+}
+
+func (p *PeerHeader) marshal(dst []byte) []byte {
+	dst = append(dst, p.Type, p.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, p.Distinguisher)
+	dst = append(dst, make([]byte, 12)...) // high 12 bytes of the address field
+	dst = binary.BigEndian.AppendUint32(dst, p.Address)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.AS))
+	dst = binary.BigEndian.AppendUint32(dst, p.BGPID)
+	dst = binary.BigEndian.AppendUint32(dst, p.Timestamp)
+	return binary.BigEndian.AppendUint32(dst, p.TimestampMicro)
+}
+
+func parsePeerHeader(buf []byte) (PeerHeader, error) {
+	if len(buf) < perPeerHeaderLen {
+		return PeerHeader{}, ErrShort
+	}
+	return PeerHeader{
+		Type:           buf[0],
+		Flags:          buf[1],
+		Distinguisher:  binary.BigEndian.Uint64(buf[2:10]),
+		Address:        binary.BigEndian.Uint32(buf[22:26]),
+		AS:             bgp.ASN(binary.BigEndian.Uint32(buf[26:30])),
+		BGPID:          binary.BigEndian.Uint32(buf[30:34]),
+		Timestamp:      binary.BigEndian.Uint32(buf[34:38]),
+		TimestampMicro: binary.BigEndian.Uint32(buf[38:42]),
+	}, nil
+}
+
+// Marshal encodes the Route Monitoring message.
+func (m *RouteMonitoring) Marshal() []byte {
+	pdu := m.Update.Marshal()
+	out := appendCommonHeader(make([]byte, 0, commonHeaderLen+perPeerHeaderLen+len(pdu)),
+		TypeRouteMonitoring, perPeerHeaderLen+len(pdu))
+	out = m.Peer.marshal(out)
+	return append(out, pdu...)
+}
+
+// Marshal encodes the Peer Up message.
+func (m *PeerUp) Marshal() []byte {
+	sent := m.SentOpen.Marshal()
+	recv := m.RecvOpen.Marshal()
+	bodyLen := perPeerHeaderLen + 20 + len(sent) + len(recv)
+	out := appendCommonHeader(make([]byte, 0, commonHeaderLen+bodyLen), TypePeerUp, bodyLen)
+	out = m.Peer.marshal(out)
+	out = append(out, make([]byte, 12)...)
+	out = binary.BigEndian.AppendUint32(out, m.LocalAddr)
+	out = binary.BigEndian.AppendUint16(out, m.LocalPort)
+	out = binary.BigEndian.AppendUint16(out, m.RemotePort)
+	out = append(out, sent...)
+	return append(out, recv...)
+}
+
+// Marshal encodes the Peer Down message.
+func (m *PeerDown) Marshal() []byte {
+	bodyLen := perPeerHeaderLen + 1 + len(m.Data)
+	out := appendCommonHeader(make([]byte, 0, commonHeaderLen+bodyLen), TypePeerDown, bodyLen)
+	out = m.Peer.marshal(out)
+	out = append(out, m.Reason)
+	return append(out, m.Data...)
+}
+
+func appendTLV(dst []byte, typ uint16, val []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, typ)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	return append(dst, val...)
+}
+
+// Marshal encodes the Initiation message.
+func (m *Initiation) Marshal() []byte {
+	var body []byte
+	body = appendTLV(body, TLVSysDescr, []byte(m.SysDescr))
+	body = appendTLV(body, TLVSysName, []byte(m.SysName))
+	out := appendCommonHeader(make([]byte, 0, commonHeaderLen+len(body)), TypeInitiation, len(body))
+	return append(out, body...)
+}
+
+// Marshal encodes the Termination message.
+func (m *Termination) Marshal() []byte {
+	var body []byte
+	body = appendTLV(body, TLVReason, binary.BigEndian.AppendUint16(nil, m.Reason))
+	out := appendCommonHeader(make([]byte, 0, commonHeaderLen+len(body)), TypeTermination, len(body))
+	return append(out, body...)
+}
+
+// WireLen reports the framed length of the next BMP message, or 0 if
+// the header is incomplete.
+func WireLen(buf []byte) int {
+	if len(buf) < commonHeaderLen {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(buf[1:5]))
+}
+
+// Decode parses one framed BMP message, returning *RouteMonitoring,
+// *PeerUp, *PeerDown, *Initiation, or *Termination.
+func Decode(buf []byte) (any, error) {
+	if len(buf) < commonHeaderLen {
+		return nil, ErrShort
+	}
+	if buf[0] != Version {
+		return nil, ErrBadVersion
+	}
+	length := int(binary.BigEndian.Uint32(buf[1:5]))
+	if length < commonHeaderLen || length > len(buf) {
+		return nil, ErrShort
+	}
+	msgType := buf[5]
+	body := buf[commonHeaderLen:length]
+	switch msgType {
+	case TypeRouteMonitoring:
+		peer, err := parsePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		pdu, err := bgp.Unmarshal(body[perPeerHeaderLen:])
+		if err != nil {
+			return nil, fmt.Errorf("bmp: inner PDU: %w", err)
+		}
+		upd, ok := pdu.(*bgp.Update)
+		if !ok {
+			return nil, fmt.Errorf("bmp: route monitoring carries %T, want UPDATE", pdu)
+		}
+		return &RouteMonitoring{Peer: peer, Update: upd}, nil
+	case TypePeerUp:
+		peer, err := parsePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		rest := body[perPeerHeaderLen:]
+		if len(rest) < 20 {
+			return nil, ErrShort
+		}
+		up := &PeerUp{
+			Peer:       peer,
+			LocalAddr:  binary.BigEndian.Uint32(rest[12:16]),
+			LocalPort:  binary.BigEndian.Uint16(rest[16:18]),
+			RemotePort: binary.BigEndian.Uint16(rest[18:20]),
+		}
+		rest = rest[20:]
+		n := bgp.WireLen(rest)
+		if n == 0 || n > len(rest) {
+			return nil, ErrShort
+		}
+		sent, err := bgp.Unmarshal(rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[n:]
+		n = bgp.WireLen(rest)
+		if n == 0 || n > len(rest) {
+			return nil, ErrShort
+		}
+		recv, err := bgp.Unmarshal(rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		if up.SentOpen, ok = sent.(*bgp.Open); !ok {
+			return nil, fmt.Errorf("bmp: peer up sent PDU is %T", sent)
+		}
+		if up.RecvOpen, ok = recv.(*bgp.Open); !ok {
+			return nil, fmt.Errorf("bmp: peer up recv PDU is %T", recv)
+		}
+		return up, nil
+	case TypePeerDown:
+		peer, err := parsePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		rest := body[perPeerHeaderLen:]
+		if len(rest) < 1 {
+			return nil, ErrShort
+		}
+		return &PeerDown{Peer: peer, Reason: rest[0], Data: append([]byte(nil), rest[1:]...)}, nil
+	case TypeInitiation:
+		m := &Initiation{}
+		if err := walkTLVs(body, func(typ uint16, val []byte) {
+			switch typ {
+			case TLVSysDescr:
+				m.SysDescr = string(val)
+			case TLVSysName:
+				m.SysName = string(val)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeTermination:
+		m := &Termination{}
+		if err := walkTLVs(body, func(typ uint16, val []byte) {
+			if typ == TLVReason && len(val) == 2 {
+				m.Reason = binary.BigEndian.Uint16(val)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("bmp: unknown message type %d", msgType)
+	}
+}
+
+func walkTLVs(body []byte, fn func(typ uint16, val []byte)) error {
+	for len(body) > 0 {
+		if len(body) < 4 {
+			return ErrShort
+		}
+		typ := binary.BigEndian.Uint16(body[0:2])
+		vlen := int(binary.BigEndian.Uint16(body[2:4]))
+		if len(body) < 4+vlen {
+			return ErrShort
+		}
+		fn(typ, body[4:4+vlen])
+		body = body[4+vlen:]
+	}
+	return nil
+}

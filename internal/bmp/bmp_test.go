@@ -1,0 +1,202 @@
+package bmp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tipsy/internal/bgp"
+)
+
+func samplePeer() PeerHeader {
+	return PeerHeader{
+		Type:      0,
+		Flags:     0,
+		Address:   bgp.V4(203, 0, 113, 9),
+		AS:        64496,
+		BGPID:     bgp.V4(203, 0, 113, 9),
+		Timestamp: 7200,
+	}
+}
+
+func sampleRM() *RouteMonitoring {
+	return &RouteMonitoring{
+		Peer: samplePeer(),
+		Update: &bgp.Update{
+			Attrs: bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  []bgp.ASN{64496, 174},
+				NextHop: bgp.V4(203, 0, 113, 9),
+			},
+			NLRI: []bgp.Prefix{bgp.MakePrefix(bgp.V4(100, 64, 0, 0), 10)},
+		},
+	}
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	m := sampleRM()
+	got, err := Decode(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := got.(*RouteMonitoring)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestPeerUpRoundTrip(t *testing.T) {
+	m := &PeerUp{
+		Peer:       samplePeer(),
+		LocalAddr:  bgp.V4(198, 51, 100, 1),
+		LocalPort:  179,
+		RemotePort: 40123,
+		SentOpen:   &bgp.Open{Version: 4, AS: 64500, HoldTime: 90, BGPID: 1},
+		RecvOpen:   &bgp.Open{Version: 4, AS: 64496, HoldTime: 90, BGPID: 2},
+	}
+	got, err := Decode(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestPeerDownRoundTrip(t *testing.T) {
+	m := &PeerDown{Peer: samplePeer(), Reason: ReasonRemoteNoNotification, Data: []byte{}}
+	got, err := Decode(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.(*PeerDown)
+	if back.Reason != m.Reason || back.Peer != m.Peer {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestInitiationTerminationRoundTrip(t *testing.T) {
+	ini := &Initiation{SysName: "fra01-er2", SysDescr: "edge router"}
+	got, err := Decode(ini.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ini) {
+		t.Errorf("initiation mismatch: %+v", got)
+	}
+	term := &Termination{Reason: 1}
+	got, err = Decode(term.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, term) {
+		t.Errorf("termination mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	msg := (&Initiation{}).Marshal()
+	msg[0] = 2
+	if _, err := Decode(msg); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	msg := sampleRM().Marshal()
+	for cut := 1; cut < len(msg); cut += 5 {
+		if _, err := Decode(msg[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestStationLifecycle(t *testing.T) {
+	st := NewStation()
+	const router = 7
+	if err := st.Handle(router, (&Initiation{SysName: "r1"}).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	peer := samplePeer()
+	up := &PeerUp{
+		Peer: peer, LocalAddr: 1, LocalPort: 179, RemotePort: 1000,
+		SentOpen: &bgp.Open{Version: 4, AS: 64500, BGPID: 1},
+		RecvOpen: &bgp.Open{Version: 4, AS: peer.AS, BGPID: 2},
+	}
+	if err := st.Handle(router, up.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	key := SessionKey{router, peer.AS, peer.Address}
+	if !st.SessionUp(key) {
+		t.Fatal("session should be up")
+	}
+
+	rm := sampleRM()
+	if err := st.Handle(router, rm.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	pfx := rm.Update.NLRI[0]
+	if path := st.Routes(key, pfx); len(path) != 2 || path[0] != 64496 {
+		t.Errorf("route view wrong: %v", path)
+	}
+
+	// Withdraw the prefix.
+	wd := &RouteMonitoring{Peer: peer, Update: &bgp.Update{Withdrawn: []bgp.Prefix{pfx}}}
+	if err := st.Handle(router, wd.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes(key, pfx) != nil {
+		t.Error("withdrawn prefix still present")
+	}
+
+	down := &PeerDown{Peer: peer, Reason: ReasonLocalNotification}
+	if err := st.Handle(router, down.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionUp(key) {
+		t.Error("session should be down")
+	}
+	mon, ups, downs := st.Stats()
+	if mon != 2 || ups != 1 || downs != 1 {
+		t.Errorf("stats = %d %d %d", mon, ups, downs)
+	}
+}
+
+func TestStationToleratesMidStreamJoin(t *testing.T) {
+	st := NewStation()
+	// Route Monitoring without a prior Peer Up must not error.
+	if err := st.Handle(1, sampleRM().Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSessions() != 1 {
+		t.Error("implicit session should be created")
+	}
+}
+
+func TestStationReadStream(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write((&Initiation{SysName: "r9"}).Marshal())
+	buf.Write(sampleRM().Marshal())
+	buf.Write(sampleRM().Marshal())
+	st := NewStation()
+	if err := st.ReadStream(9, &buf); err != nil {
+		t.Fatal(err)
+	}
+	mon, _, _ := st.Stats()
+	if mon != 2 {
+		t.Errorf("monitored = %d, want 2", mon)
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	msg := sampleRM().Marshal()
+	if got := WireLen(msg); got != len(msg) {
+		t.Errorf("WireLen = %d, want %d", got, len(msg))
+	}
+	if WireLen(msg[:3]) != 0 {
+		t.Error("short header should report 0")
+	}
+}

@@ -1,0 +1,145 @@
+package bmp
+
+import (
+	"io"
+	"sync"
+
+	"tipsy/internal/bgp"
+)
+
+// SessionKey identifies one monitored BGP session at the station.
+type SessionKey struct {
+	RouterID uint32 // BMP sender (edge router)
+	PeerAS   bgp.ASN
+	PeerAddr uint32
+}
+
+// Station is a BMP monitoring station: it consumes BMP messages from
+// many routers and maintains the set of advertisements currently held
+// on each monitored session. This is the data-lake view the paper's
+// "BMP data listeners" provide for topology analysis.
+type Station struct {
+	mu       sync.Mutex
+	routers  map[uint32]string // router id -> sysname
+	sessions map[SessionKey]*sessionState
+	// counts
+	monitored uint64
+	peerUps   uint64
+	peerDowns uint64
+}
+
+type sessionState struct {
+	up     bool
+	routes map[bgp.Prefix][]bgp.ASN // prefix -> AS path last advertised
+}
+
+// NewStation creates an empty station.
+func NewStation() *Station {
+	return &Station{
+		routers:  make(map[uint32]string),
+		sessions: make(map[SessionKey]*sessionState),
+	}
+}
+
+// Handle processes one framed BMP message from the given router.
+func (s *Station) Handle(routerID uint32, buf []byte) error {
+	msg, err := Decode(buf)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m := msg.(type) {
+	case *Initiation:
+		s.routers[routerID] = m.SysName
+	case *Termination:
+		delete(s.routers, routerID)
+	case *PeerUp:
+		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
+		s.sessions[key] = &sessionState{up: true, routes: make(map[bgp.Prefix][]bgp.ASN)}
+		s.peerUps++
+	case *PeerDown:
+		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
+		if st, ok := s.sessions[key]; ok {
+			st.up = false
+			st.routes = make(map[bgp.Prefix][]bgp.ASN)
+		}
+		s.peerDowns++
+	case *RouteMonitoring:
+		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
+		st, ok := s.sessions[key]
+		if !ok {
+			// RFC 7854 requires Peer Up before Route Monitoring, but a
+			// station must tolerate joining mid-stream.
+			st = &sessionState{up: true, routes: make(map[bgp.Prefix][]bgp.ASN)}
+			s.sessions[key] = st
+		}
+		for _, p := range m.Update.Withdrawn {
+			delete(st.routes, p)
+		}
+		for _, p := range m.Update.NLRI {
+			st.routes[p] = append([]bgp.ASN(nil), m.Update.Attrs.ASPath...)
+		}
+		s.monitored++
+	}
+	return nil
+}
+
+// ReadStream consumes framed BMP messages from r until EOF.
+func (s *Station) ReadStream(routerID uint32, r io.Reader) error {
+	hdr := make([]byte, commonHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		total := WireLen(hdr)
+		if total < commonHeaderLen {
+			return ErrShort
+		}
+		msg := make([]byte, total)
+		copy(msg, hdr)
+		if _, err := io.ReadFull(r, msg[commonHeaderLen:]); err != nil {
+			return err
+		}
+		if err := s.Handle(routerID, msg); err != nil {
+			return err
+		}
+	}
+}
+
+// Routes returns the AS path currently advertised for prefix on the
+// given session, or nil.
+func (s *Station) Routes(key SessionKey, prefix bgp.Prefix) []bgp.ASN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[key]
+	if !ok {
+		return nil
+	}
+	return st.routes[prefix]
+}
+
+// SessionUp reports whether the session is currently up.
+func (s *Station) SessionUp(key SessionKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[key]
+	return ok && st.up
+}
+
+// Stats reports counts of processed messages.
+func (s *Station) Stats() (monitored, peerUps, peerDowns uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.monitored, s.peerUps, s.peerDowns
+}
+
+// NumSessions reports how many sessions the station has seen.
+func (s *Station) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tipsy/internal/features"
+	"tipsy/internal/wan"
+)
+
+// HistOpts tunes Historical training.
+type HistOpts struct {
+	// MaxLinksPerTuple caps how many ranked links are retained per
+	// flow tuple. Training beyond the operationally useful rank is
+	// "computationally inefficient and unnecessary" (§5.1.2); the
+	// default keeps 16, comfortably above the paper's k=3 target.
+	MaxLinksPerTuple int
+}
+
+// DefaultHistOpts returns the standard training options.
+func DefaultHistOpts() HistOpts { return HistOpts{MaxLinksPerTuple: 16} }
+
+// Historical is the paper's Historical model (§3.3.1): for each flow
+// tuple it remembers which ingress links carried the tuple's bytes in
+// training and with what byte fractions — p(l|f) = B(f,l)/B(f) — and
+// predicts the top-k links by that probability. There is deliberately
+// no transfer learning between tuples: a link never seen for a tuple
+// is never predicted for it.
+type Historical struct {
+	set   features.Set
+	table map[features.Tuple][]Prediction // sorted by Frac descending
+}
+
+// TrainHistorical builds a Historical model over the given feature
+// set in one pass: group bytes by (tuple, link), rank links per tuple
+// by byte volume, keep the top MaxLinksPerTuple. Training samples are
+// weighted by traffic volume, which makes large flows dominate their
+// aggregate, suppresses stray packets, and yields per-link byte
+// fractions directly.
+func TrainHistorical(set features.Set, recs []features.Record, opts HistOpts) *Historical {
+	if opts.MaxLinksPerTuple <= 0 {
+		opts.MaxLinksPerTuple = DefaultHistOpts().MaxLinksPerTuple
+	}
+	counts := make(map[features.Tuple]map[wan.LinkID]float64)
+	for i := range recs {
+		r := &recs[i]
+		if r.Bytes <= 0 {
+			continue
+		}
+		t := set.Project(r.Flow)
+		m := counts[t]
+		if m == nil {
+			m = make(map[wan.LinkID]float64, 4)
+			counts[t] = m
+		}
+		m[r.Link] += r.Bytes
+	}
+	h := &Historical{set: set, table: make(map[features.Tuple][]Prediction, len(counts))}
+	for t, m := range counts {
+		var total float64
+		preds := make([]Prediction, 0, len(m))
+		for l, b := range m {
+			total += b
+			preds = append(preds, Prediction{Link: l, Frac: b})
+		}
+		sort.Slice(preds, func(i, j int) bool {
+			if preds[i].Frac != preds[j].Frac {
+				return preds[i].Frac > preds[j].Frac
+			}
+			return preds[i].Link < preds[j].Link
+		})
+		if len(preds) > opts.MaxLinksPerTuple {
+			preds = preds[:opts.MaxLinksPerTuple]
+		}
+		for i := range preds {
+			preds[i].Frac /= total
+		}
+		h.table[t] = preds
+	}
+	return h
+}
+
+// Name implements Predictor.
+func (h *Historical) Name() string { return "Hist_" + h.set.String() }
+
+// Set returns the feature set the model was trained over.
+func (h *Historical) Set() features.Set { return h.set }
+
+// Predict implements Predictor: a table lookup followed by exclusion
+// filtering and top-k truncation. Lookup is O(1) in the number of
+// training points (Table 3).
+func (h *Historical) Predict(q Query) []Prediction {
+	stored, ok := h.table[h.set.Project(q.Flow)]
+	if !ok {
+		return nil
+	}
+	preds := make([]Prediction, 0, len(stored))
+	for _, p := range stored {
+		if q.excluded(p.Link) {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	return topK(preds, q.K)
+}
+
+// PredictRaw is Predict without top-k truncation or renormalization:
+// the surviving (non-excluded) links keep their trained byte
+// fractions p(l|f) = B(f,l)/B(f). The sum of the returned fractions
+// is the share of the tuple's training bytes still routable — a
+// confidence signal the geographic completion uses to decide how much
+// probability mass to spend on alternates.
+func (h *Historical) PredictRaw(q Query) []Prediction {
+	stored, ok := h.table[h.set.Project(q.Flow)]
+	if !ok {
+		return nil
+	}
+	preds := make([]Prediction, 0, len(stored))
+	for _, p := range stored {
+		if q.excluded(p.Link) {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	return preds
+}
+
+// NumTuples reports how many distinct flow tuples the model holds;
+// model size is linear in this count (Table 3).
+func (h *Historical) NumTuples() int { return len(h.table) }
+
+// NumEntries reports the total number of (tuple, link) entries.
+func (h *Historical) NumEntries() int {
+	n := 0
+	for _, preds := range h.table {
+		n += len(preds)
+	}
+	return n
+}
+
+// String summarizes the model.
+func (h *Historical) String() string {
+	return fmt.Sprintf("%s{tuples: %d, entries: %d}", h.Name(), h.NumTuples(), h.NumEntries())
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"tipsy/internal/features"
+	"tipsy/internal/wan"
+)
+
+// NBOpts tunes Naïve Bayes training.
+type NBOpts struct {
+	// Alpha is the additive (Laplace) smoothing weight.
+	Alpha float64
+	// CandidateCap bounds how many top-scoring links a prediction
+	// considers when converting log-scores to fractions.
+	CandidateCap int
+}
+
+// DefaultNBOpts returns the standard options.
+func DefaultNBOpts() NBOpts { return NBOpts{Alpha: 1, CandidateCap: 16} }
+
+// nbDim identifies one feature dimension of the classifier.
+type nbDim uint8
+
+const (
+	dimAS nbDim = iota
+	dimPrefix
+	dimLoc
+	dimRegion
+	dimType
+)
+
+func dimsFor(set features.Set) []nbDim {
+	switch set {
+	case features.SetAP:
+		return []nbDim{dimAS, dimPrefix, dimRegion, dimType}
+	case features.SetAL:
+		return []nbDim{dimAS, dimLoc, dimRegion, dimType}
+	default:
+		return []nbDim{dimAS, dimRegion, dimType}
+	}
+}
+
+func dimValue(d nbDim, f features.FlowFeatures) uint64 {
+	switch d {
+	case dimAS:
+		return uint64(f.AS)
+	case dimPrefix:
+		return uint64(f.Prefix)
+	case dimLoc:
+		return uint64(f.Loc)
+	case dimRegion:
+		return uint64(f.Region)
+	default:
+		return uint64(f.Type)
+	}
+}
+
+// NaiveBayes is the Appendix A classifier: p(l|f) ∝ p(l)·Π p(f_i|l)
+// with byte-weighted counts and Laplace smoothing. Unlike the
+// Historical model it can predict for tuples never seen in training,
+// as long as the individual feature values were seen — its transfer
+// learning advantage, paid for with O(l log l) prediction cost and a
+// much larger model (Table 11).
+type NaiveBayes struct {
+	set   features.Set
+	opts  NBOpts
+	dims  []nbDim
+	links []wan.LinkID // classes, ascending
+
+	logPrior map[wan.LinkID]float64
+	// cond[d][value][link] = bytes of feature value seen on link.
+	cond map[nbDim]map[uint64]map[wan.LinkID]float64
+	// byLink[d][link] = total bytes on link (denominator per dim).
+	byLink map[wan.LinkID]float64
+	// vocab[d] = number of distinct values of dimension d.
+	vocab map[nbDim]int
+}
+
+// TrainNaiveBayes builds the classifier in one pass over the records.
+func TrainNaiveBayes(set features.Set, recs []features.Record, opts NBOpts) *NaiveBayes {
+	if opts.Alpha <= 0 {
+		opts.Alpha = DefaultNBOpts().Alpha
+	}
+	if opts.CandidateCap <= 0 {
+		opts.CandidateCap = DefaultNBOpts().CandidateCap
+	}
+	nb := &NaiveBayes{
+		set:      set,
+		opts:     opts,
+		dims:     dimsFor(set),
+		logPrior: make(map[wan.LinkID]float64),
+		cond:     make(map[nbDim]map[uint64]map[wan.LinkID]float64),
+		byLink:   make(map[wan.LinkID]float64),
+		vocab:    make(map[nbDim]int),
+	}
+	for _, d := range nb.dims {
+		nb.cond[d] = make(map[uint64]map[wan.LinkID]float64)
+	}
+	var total float64
+	for i := range recs {
+		r := &recs[i]
+		if r.Bytes <= 0 {
+			continue
+		}
+		total += r.Bytes
+		nb.byLink[r.Link] += r.Bytes
+		for _, d := range nb.dims {
+			v := dimValue(d, r.Flow)
+			m := nb.cond[d][v]
+			if m == nil {
+				m = make(map[wan.LinkID]float64, 2)
+				nb.cond[d][v] = m
+			}
+			m[r.Link] += r.Bytes
+		}
+	}
+	for l, b := range nb.byLink {
+		nb.links = append(nb.links, l)
+		nb.logPrior[l] = math.Log(b / total)
+	}
+	sort.Slice(nb.links, func(i, j int) bool { return nb.links[i] < nb.links[j] })
+	for _, d := range nb.dims {
+		nb.vocab[d] = len(nb.cond[d])
+	}
+	return nb
+}
+
+// Name implements Predictor.
+func (nb *NaiveBayes) Name() string { return "NB_" + nb.set.String() }
+
+// Set returns the feature set the model was trained over.
+func (nb *NaiveBayes) Set() features.Set { return nb.set }
+
+// Predict implements Predictor: score every class (link), rank, and
+// exp-normalize the top scores into byte fractions.
+func (nb *NaiveBayes) Predict(q Query) []Prediction {
+	type scored struct {
+		link  wan.LinkID
+		score float64
+	}
+	cands := make([]scored, 0, len(nb.links))
+	for _, l := range nb.links {
+		if q.excluded(l) {
+			continue
+		}
+		s := nb.logPrior[l]
+		denomBase := nb.byLink[l]
+		usable := true
+		for _, d := range nb.dims {
+			v := dimValue(d, q.Flow)
+			vocab := float64(nb.vocab[d])
+			if vocab == 0 {
+				usable = false
+				break
+			}
+			num := nb.opts.Alpha
+			if m, ok := nb.cond[d][v]; ok {
+				num += m[l]
+			}
+			s += math.Log(num / (denomBase + nb.opts.Alpha*vocab))
+		}
+		if usable {
+			cands = append(cands, scored{l, s})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].link < cands[j].link
+	})
+	if len(cands) > nb.opts.CandidateCap {
+		cands = cands[:nb.opts.CandidateCap]
+	}
+	// Softmax over the retained scores gives the predicted fractions.
+	maxS := cands[0].score
+	var sum float64
+	preds := make([]Prediction, len(cands))
+	for i, c := range cands {
+		w := math.Exp(c.score - maxS)
+		preds[i] = Prediction{Link: c.link, Frac: w}
+		sum += w
+	}
+	for i := range preds {
+		preds[i].Frac /= sum
+	}
+	return topK(preds, q.K)
+}
+
+// NumClasses reports how many links (classes) the model scores.
+func (nb *NaiveBayes) NumClasses() int { return len(nb.links) }
+
+// NumParameters reports the total conditional-table entries, the
+// dominant term of the Table 11 size analysis.
+func (nb *NaiveBayes) NumParameters() int {
+	n := 0
+	for _, d := range nb.dims {
+		for _, m := range nb.cond[d] {
+			n += len(m)
+		}
+	}
+	return n
+}

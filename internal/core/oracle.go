@@ -1,0 +1,25 @@
+package core
+
+import "tipsy/internal/features"
+
+// Oracle is the paper's restricted oracle (§5.1.2): it has perfect
+// knowledge of the testing data — exactly which link received how
+// many bytes for every flow tuple — but is limited to k predictions
+// per flow. It is the accuracy ceiling for a model at a given feature
+// granularity: Oracle_A cannot tell apart flows that collide in the A
+// projection even with perfect knowledge.
+//
+// Structurally it is a Historical model trained on the test records
+// themselves.
+type Oracle struct {
+	*Historical
+}
+
+// NewOracle builds the oracle for a feature set from the testing
+// records.
+func NewOracle(set features.Set, testRecs []features.Record) *Oracle {
+	return &Oracle{Historical: TrainHistorical(set, testRecs, HistOpts{MaxLinksPerTuple: 1 << 20})}
+}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "Oracle_" + o.Set().String() }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tipsy/internal/features"
+)
+
+// histSnapshot is the serialized form of a Historical model.
+type histSnapshot struct {
+	Version int
+	Set     features.Set
+	Table   map[features.Tuple][]Prediction
+}
+
+const snapshotVersion = 1
+
+// Save writes the model to w in a self-describing binary form, so a
+// daily-retrained model can be produced by one process (or machine)
+// and served by another.
+func (h *Historical) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(histSnapshot{
+		Version: snapshotVersion,
+		Set:     h.set,
+		Table:   h.table,
+	})
+}
+
+// LoadHistorical reads a model previously written with Save.
+func LoadHistorical(r io.Reader) (*Historical, error) {
+	var snap histSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load historical: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", snap.Version)
+	}
+	return &Historical{set: snap.Set, table: snap.Table}, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tipsy/internal/features"
+	"tipsy/internal/wan"
+)
+
+func TestHistoricalSaveLoad(t *testing.T) {
+	f1 := flow(64496, 0x0b000100, 3, 9, 1)
+	f2 := flow(174, 0x0b000200, 5, 9, 2)
+	recs := []features.Record{
+		rec(f1, 1, 700), rec(f1, 2, 300), rec(f2, 9, 50),
+	}
+	orig := TrainHistorical(features.SetAP, recs, DefaultHistOpts())
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadHistorical(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.NumTuples() != orig.NumTuples() {
+		t.Fatalf("metadata mismatch: %s/%d vs %s/%d",
+			back.Name(), back.NumTuples(), orig.Name(), orig.NumTuples())
+	}
+	for _, f := range []features.FlowFeatures{f1, f2} {
+		a := orig.Predict(Query{Flow: f, K: 3})
+		b := back.Predict(Query{Flow: f, K: 3})
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("predictions diverge after round trip: %+v vs %+v", a, b)
+		}
+	}
+	// Exclusions behave identically too.
+	excl := func(l wan.LinkID) bool { return l == 1 }
+	a := orig.Predict(Query{Flow: f1, K: 3, Exclude: excl})
+	b := back.Predict(Query{Flow: f1, K: 3, Exclude: excl})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("excluded predictions diverge after round trip")
+	}
+}
+
+func TestLoadHistoricalRejectsGarbage(t *testing.T) {
+	if _, err := LoadHistorical(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage should not load")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// randomRecords builds a random but well-formed training set.
+func randomRecords(rng *rand.Rand, n int) []features.Record {
+	recs := make([]features.Record, n)
+	for i := range recs {
+		recs[i] = features.Record{
+			Hour: wan.Hour(rng.Intn(100)),
+			Flow: features.FlowFeatures{
+				AS:     bgp.ASN(1 + rng.Intn(8)),
+				Prefix: uint32(rng.Intn(16)) << 8,
+				Loc:    geo.MetroID(1 + rng.Intn(5)),
+				Region: wan.Region(1 + rng.Intn(4)),
+				Type:   wan.ServiceType(1 + rng.Intn(3)),
+			},
+			Link:  wan.LinkID(1 + rng.Intn(12)),
+			Bytes: float64(1 + rng.Intn(1_000_000)),
+		}
+	}
+	return recs
+}
+
+// TestHistoricalInvariantsProperty checks, over random training sets
+// and queries, the Historical model's structural guarantees: sorted
+// descending fractions, total mass at most 1 (exactly 1 when nothing
+// is truncated or excluded), no excluded links, and per-tuple
+// fractions equal to the trained byte ratios.
+func TestHistoricalInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func() bool {
+		recs := randomRecords(rng, 50+rng.Intn(200))
+		set := features.Set(rng.Intn(3))
+		h := TrainHistorical(set, recs, DefaultHistOpts())
+
+		// Reference byte counts per tuple.
+		ref := map[features.Tuple]map[wan.LinkID]float64{}
+		tot := map[features.Tuple]float64{}
+		for _, r := range recs {
+			tu := set.Project(r.Flow)
+			if ref[tu] == nil {
+				ref[tu] = map[wan.LinkID]float64{}
+			}
+			ref[tu][r.Link] += r.Bytes
+			tot[tu] += r.Bytes
+		}
+
+		for i := 0; i < 20; i++ {
+			r := recs[rng.Intn(len(recs))]
+			k := rng.Intn(5)
+			excl := wan.LinkID(1 + rng.Intn(12))
+			var exclude func(wan.LinkID) bool
+			if rng.Intn(2) == 0 {
+				exclude = func(l wan.LinkID) bool { return l == excl }
+			}
+			preds := h.Predict(Query{Flow: r.Flow, K: k, Exclude: exclude})
+			var sum float64
+			for j, p := range preds {
+				sum += p.Frac
+				if j > 0 && p.Frac > preds[j-1].Frac+1e-12 {
+					return false // not sorted
+				}
+				if exclude != nil && p.Link == excl {
+					return false // excluded link predicted
+				}
+				if p.Frac <= 0 {
+					return false
+				}
+			}
+			if sum > 1+1e-9 {
+				return false
+			}
+			// Without exclusion or truncation, fractions must match
+			// the byte ratios exactly.
+			tu := set.Project(r.Flow)
+			if exclude == nil && k == 0 && len(ref[tu]) <= DefaultHistOpts().MaxLinksPerTuple {
+				for _, p := range preds {
+					want := ref[tu][p.Link] / tot[tu]
+					if math.Abs(p.Frac-want) > 1e-9 {
+						return false
+					}
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnsembleFirstNonEmptyProperty: the ensemble's answer is always
+// exactly the first component's non-empty answer.
+func TestEnsembleFirstNonEmptyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func() bool {
+		recsA := randomRecords(rng, 60)
+		recsB := randomRecords(rng, 60)
+		m1 := TrainHistorical(features.SetAP, recsA, DefaultHistOpts())
+		m2 := TrainHistorical(features.SetA, recsB, DefaultHistOpts())
+		e := NewEnsemble(m1, m2)
+		for i := 0; i < 30; i++ {
+			q := Query{Flow: randomRecords(rng, 1)[0].Flow, K: 3}
+			got := e.Predict(q)
+			want := m1.Predict(q)
+			if len(want) == 0 {
+				want = m2.Predict(q)
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNaiveBayesInvariantsProperty: NB predictions are sorted, sum to
+// at most 1, and never include excluded links.
+func TestNaiveBayesInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	check := func() bool {
+		recs := randomRecords(rng, 80)
+		nb := TrainNaiveBayes(features.SetAL, recs, DefaultNBOpts())
+		for i := 0; i < 20; i++ {
+			r := recs[rng.Intn(len(recs))]
+			excl := wan.LinkID(1 + rng.Intn(12))
+			preds := nb.Predict(Query{Flow: r.Flow, K: 3,
+				Exclude: func(l wan.LinkID) bool { return l == excl }})
+			var sum float64
+			for j, p := range preds {
+				sum += p.Frac
+				if p.Link == excl || p.Frac <= 0 {
+					return false
+				}
+				if j > 0 && p.Frac > preds[j-1].Frac+1e-12 {
+					return false
+				}
+			}
+			if sum > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// File is a portable telemetry bundle: the aggregated flow records of
+// a time range together with the WAN metadata needed to train, query,
+// and evaluate models offline.
+type File struct {
+	Version int
+	// Records are the hourly aggregates from the pipeline.
+	Records []features.Record
+	// Links is the WAN's link directory at export time.
+	Links []wan.Link
+	// Anycast lists the announced prefixes.
+	Anycast []bgp.Prefix
+	// GeoEntries maps /24 source prefixes to metros (the Geo-IP view).
+	GeoEntries map[uint32]geo.MetroID
+}
+
+const fileVersion = 1
+
+// Save writes the bundle gzip-compressed — the spirit of §4.2's
+// aggregation-then-compression stage.
+func Save(w io.Writer, f *File) error {
+	f.Version = fileVersion
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(f); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return zw.Close()
+}
+
+// Load reads a bundle written by Save.
+func Load(r io.Reader) (*File, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer zr.Close()
+	var f File
+	if err := gob.NewDecoder(zr).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported file version %d", f.Version)
+	}
+	return &f, nil
+}

@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+func TestFileSaveLoad(t *testing.T) {
+	orig := &File{
+		Records: []features.Record{
+			mkrec(0, 1, 1, 100),
+			mkrec(5, 2, 3, 200),
+		},
+		Links: []wan.Link{
+			{ID: 1, Router: "sea47-er1", Metro: 1, PeerAS: 174, Capacity: 100e9},
+			{ID: 3, Router: "fra30-er2", Metro: 30, PeerAS: 3356, Capacity: 400e9, Exchange: true},
+		},
+		Anycast:    []bgp.Prefix{bgp.MakePrefix(bgp.V4(40, 0, 0, 0), 16)},
+		GeoEntries: map[uint32]geo.MetroID{0x0b000100: 7},
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage should not load")
+	}
+}

@@ -1,0 +1,227 @@
+// Package eval implements TIPSY's evaluation methodology (§5 of the
+// paper): the byte-weighted top-k prediction accuracy metric, the
+// train/test environment builder over the simulated WAN, and one
+// harness per table and figure of the paper's evaluation.
+package eval
+
+import (
+	"sort"
+
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+	"tipsy/internal/wan"
+)
+
+// Group is one evaluation unit: a flow aggregate with its actual
+// per-link byte distribution over the selected hours.
+type Group struct {
+	Flow  features.FlowFeatures
+	Hour  wan.Hour // earliest selected hour (informational)
+	Links map[wan.LinkID]float64
+	Total float64
+	hours []wan.Hour
+}
+
+// Options controls an accuracy computation.
+type Options struct {
+	// Ks are the top-k values to report; 0 means unrestricted.
+	Ks []int
+	// Exclude marks links unavailable at an hour — the prior the
+	// paper gives models during outage evaluation. A link is excluded
+	// from a flow's prediction when it is down for the majority of
+	// the flow's selected hours.
+	Exclude func(l wan.LinkID, h wan.Hour) bool
+	// Select restricts which flow-hours count, e.g. "only hours when
+	// the flow's top trained link was down". Nil selects everything.
+	Select func(f features.FlowFeatures, h wan.Hour) bool
+	// GroupBy optionally coarsens the evaluation unit. The paper
+	// evaluates each oracle at its own tuple granularity ("we
+	// calculate the accuracy of the oracle for each of the three
+	// definitions of tuples"), while trained models are scored at
+	// full flow granularity. Nil means full granularity.
+	GroupBy func(features.FlowFeatures) features.FlowFeatures
+}
+
+// BuildGroups buckets records into evaluation units under the given
+// options, in deterministic order.
+func BuildGroups(recs []features.Record, opts Options) []Group {
+	byFlow := make(map[features.FlowFeatures]*Group)
+	var order []features.FlowFeatures
+	hourSeen := make(map[features.FlowFeatures]map[wan.Hour]bool)
+	for _, r := range recs {
+		if opts.Select != nil && !opts.Select(r.Flow, r.Hour) {
+			continue
+		}
+		key := r.Flow
+		if opts.GroupBy != nil {
+			key = opts.GroupBy(r.Flow)
+		}
+		g := byFlow[key]
+		if g == nil {
+			g = &Group{Flow: key, Hour: r.Hour, Links: make(map[wan.LinkID]float64, 2)}
+			byFlow[key] = g
+			hourSeen[key] = make(map[wan.Hour]bool, 8)
+			order = append(order, key)
+		}
+		g.Links[r.Link] += r.Bytes
+		g.Total += r.Bytes
+		if r.Hour < g.Hour {
+			g.Hour = r.Hour
+		}
+		hourSeen[key][r.Hour] = true
+	}
+	sort.Slice(order, func(i, j int) bool { return lessFlow(order[i], order[j]) })
+	out := make([]Group, len(order))
+	for i, key := range order {
+		g := byFlow[key]
+		for h := range hourSeen[key] {
+			g.hours = append(g.hours, h)
+		}
+		sort.Slice(g.hours, func(a, b int) bool { return g.hours[a] < g.hours[b] })
+		out[i] = *g
+	}
+	return out
+}
+
+// GroupByFlowHour buckets records into per-(flow, hour) groups; the
+// risk analysis uses this finer unit.
+func GroupByFlowHour(recs []features.Record) []Group {
+	type key struct {
+		flow features.FlowFeatures
+		hour wan.Hour
+	}
+	byKey := make(map[key]*Group)
+	var order []key
+	for _, r := range recs {
+		k := key{r.Flow, r.Hour}
+		g := byKey[k]
+		if g == nil {
+			g = &Group{Flow: r.Flow, Hour: r.Hour, Links: make(map[wan.LinkID]float64, 2)}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Links[r.Link] += r.Bytes
+		g.Total += r.Bytes
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.hour != b.hour {
+			return a.hour < b.hour
+		}
+		return lessFlow(a.flow, b.flow)
+	})
+	out := make([]Group, len(order))
+	for i, k := range order {
+		out[i] = *byKey[k]
+	}
+	return out
+}
+
+func lessFlow(a, b features.FlowFeatures) bool {
+	if a.AS != b.AS {
+		return a.AS < b.AS
+	}
+	if a.Prefix != b.Prefix {
+		return a.Prefix < b.Prefix
+	}
+	if a.Loc != b.Loc {
+		return a.Loc < b.Loc
+	}
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Type < b.Type
+}
+
+// Accuracy computes the paper's §5.1.2 metric over aggregated test
+// records: for each flow aggregate the model predicts up to k links
+// with byte fractions; the credited bytes are Σ min(predicted bytes,
+// actual bytes) over the predicted links, and accuracy is total
+// credited over total actual. To score 100% a model must name
+// exactly the links that received traffic and the bytes each received
+// — three correct guesses alone are not enough.
+func Accuracy(model core.Predictor, recs []features.Record, opts Options) map[int]float64 {
+	groups := BuildGroups(recs, opts)
+	maxK := 0
+	unrestricted := false
+	for _, k := range opts.Ks {
+		if k == 0 {
+			unrestricted = true
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	credited := make(map[int]float64, len(opts.Ks))
+	var total float64
+	for gi := range groups {
+		g := &groups[gi]
+		total += g.Total
+		q := core.Query{Flow: g.Flow}
+		if !unrestricted {
+			q.K = maxK
+		}
+		if opts.Exclude != nil {
+			q.Exclude = majorityDown(opts.Exclude, g.hours)
+		}
+		preds := model.Predict(q)
+		if len(preds) == 0 {
+			continue
+		}
+		for _, k := range opts.Ks {
+			credited[k] += credit(preds, k, g)
+		}
+	}
+	out := make(map[int]float64, len(opts.Ks))
+	for _, k := range opts.Ks {
+		if total > 0 {
+			out[k] = credited[k] / total
+		}
+	}
+	return out
+}
+
+// majorityDown adapts an hourly exclusion to a flow aggregate: a link
+// is unavailable for the aggregate when it is down in the majority of
+// the aggregate's selected hours. Results are memoized per link.
+func majorityDown(exclude func(wan.LinkID, wan.Hour) bool, hours []wan.Hour) func(wan.LinkID) bool {
+	memo := make(map[wan.LinkID]bool, 4)
+	return func(l wan.LinkID) bool {
+		if v, ok := memo[l]; ok {
+			return v
+		}
+		down := 0
+		for _, h := range hours {
+			if exclude(l, h) {
+				down++
+			}
+		}
+		v := down*2 > len(hours)
+		memo[l] = v
+		return v
+	}
+}
+
+// credit scores one group at one k: the prediction list is truncated
+// to k and the overlap with the actual byte distribution credited.
+// Fractions are taken as the model stated them — a model that says
+// "60% of this flow arrives on L1" earns at most 60% of the flow on
+// L1 even when queried at k=1 — which keeps accuracy monotone in k.
+func credit(preds []core.Prediction, k int, g *Group) float64 {
+	n := len(preds)
+	if k > 0 && n > k {
+		n = k
+	}
+	var c float64
+	for _, p := range preds[:n] {
+		c += minF(p.Frac*g.Total, g.Links[p.Link])
+	}
+	return c
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

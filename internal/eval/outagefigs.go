@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tipsy/internal/netsim"
+	"tipsy/internal/wan"
+)
+
+// Fig6Point is one point of Figure 6: by day D of the year, CumFrac
+// of links had experienced their first outage.
+type Fig6Point struct {
+	Day     int
+	CumFrac float64
+}
+
+// Fig6 reproduces "Earliest time in a calendar year that a peering
+// link was down": the cumulative fraction of links that have had at
+// least one outage by each day, over a year-long outage process.
+func Fig6(nLinks int, ratePerYear float64, seed int64, stepDays int) []Fig6Point {
+	sched := netsim.GenOutages(nLinks, 365*24, ratePerYear, seed)
+	firstDay := make([]int, 0, nLinks)
+	for l := 1; l <= nLinks; l++ {
+		outs := sched.ForLink(wan.LinkID(l))
+		if len(outs) > 0 {
+			firstDay = append(firstDay, int(outs[0].Start)/24)
+		}
+	}
+	sort.Ints(firstDay)
+	var out []Fig6Point
+	for day := stepDays; day <= 365; day += stepDays {
+		n := sort.SearchInts(firstDay, day)
+		out = append(out, Fig6Point{Day: day, CumFrac: float64(n) / float64(nLinks)})
+	}
+	return out
+}
+
+// Fig7Point is one point of Figure 7: CumFrac of links whose most
+// recent outage was at most Days ago, looking back from year end.
+type Fig7Point struct {
+	DaysAgo int
+	CumFrac float64
+}
+
+// Fig7 reproduces "Days since the last time a peering link was down".
+func Fig7(nLinks int, ratePerYear float64, seed int64, stepDays int) []Fig7Point {
+	sched := netsim.GenOutages(nLinks, 365*24, ratePerYear, seed)
+	lastAgo := make([]int, 0, nLinks)
+	for l := 1; l <= nLinks; l++ {
+		outs := sched.ForLink(wan.LinkID(l))
+		if len(outs) > 0 {
+			last := outs[len(outs)-1]
+			lastAgo = append(lastAgo, (365*24-int(last.End))/24)
+		}
+	}
+	sort.Ints(lastAgo)
+	var out []Fig7Point
+	for day := stepDays; day <= 365; day += stepDays {
+		n := sort.SearchInts(lastAgo, day)
+		out = append(out, Fig7Point{DaysAgo: day, CumFrac: float64(n) / float64(nLinks)})
+	}
+	return out
+}
+
+// FormatFig6 renders the first-outage CDF.
+func FormatFig6(points []Fig6Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: earliest day in the year a peering link was down (CDF over links)\n")
+	fmt.Fprintf(&b, "%-8s %10s\n", "day", "cum frac")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d %9.1f%%\n", p.Day, p.CumFrac*100)
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the last-outage CDF.
+func FormatFig7(points []Fig7Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: days since a peering link was last down (CDF over links)\n")
+	fmt.Fprintf(&b, "%-8s %10s\n", "days ago", "cum frac")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d %9.1f%%\n", p.DaysAgo, p.CumFrac*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+func TestProjectZeroesUnusedFeatures(t *testing.T) {
+	f := FlowFeatures{AS: 64496, Prefix: 0x0b000100, Loc: 7, Region: 3, Type: 2}
+	a := SetA.Project(f)
+	if a.Prefix != 0 || a.Loc != 0 {
+		t.Errorf("SetA should drop prefix and loc: %+v", a)
+	}
+	if a.AS != f.AS || a.Region != f.Region || a.Type != f.Type {
+		t.Errorf("SetA lost shared features: %+v", a)
+	}
+	ap := SetAP.Project(f)
+	if ap.Prefix != f.Prefix || ap.Loc != 0 {
+		t.Errorf("SetAP wrong: %+v", ap)
+	}
+	al := SetAL.Project(f)
+	if al.Loc != f.Loc || al.Prefix != 0 {
+		t.Errorf("SetAL wrong: %+v", al)
+	}
+}
+
+func TestProjectIsDeterministicAndComparable(t *testing.T) {
+	fn := func(as uint32, prefix uint32, loc uint16, region uint16, typ uint8) bool {
+		f := FlowFeatures{AS: bgp.ASN(as), Prefix: prefix &^ 0xff,
+			Loc: geo.MetroID(loc), Region: wan.Region(region), Type: wan.ServiceType(typ)}
+		for _, s := range []Set{SetA, SetAP, SetAL} {
+			if s.Project(f) != s.Project(f) {
+				return false
+			}
+		}
+		// Two flows identical under a projection must map to the same tuple.
+		g := f
+		g.Prefix = prefix&^0xff + 0 // same
+		return SetA.Project(f) == SetA.Project(g)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetStrings(t *testing.T) {
+	if SetA.String() != "A" || SetAP.String() != "AP" || SetAL.String() != "AL" {
+		t.Error("feature set names must match the paper")
+	}
+}
+
+func TestDict(t *testing.T) {
+	var d Dict
+	a := d.Code(1000)
+	b := d.Code(2000)
+	if a == b {
+		t.Fatal("distinct values share a code")
+	}
+	if got := d.Code(1000); got != a {
+		t.Fatal("re-coding the same value changed the code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if v, ok := d.Value(a); !ok || v != 1000 {
+		t.Fatal("reverse lookup broken")
+	}
+	if _, ok := d.Value(99); ok {
+		t.Fatal("unknown code should not resolve")
+	}
+	if _, ok := d.Lookup(3000); ok {
+		t.Fatal("Lookup must not allocate codes")
+	}
+	if d.Len() != 2 {
+		t.Fatal("Lookup allocated a code")
+	}
+}
+
+func TestDictDense(t *testing.T) {
+	var d Dict
+	for i := 0; i < 1000; i++ {
+		if c := d.Code(uint64(i * 7919)); c != uint32(i) {
+			t.Fatalf("codes not dense: value %d got code %d", i, c)
+		}
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	recs := []Record{
+		{Flow: FlowFeatures{AS: 1, Prefix: 100, Loc: 1, Region: 1, Type: 1}, Link: 1, Bytes: 10},
+		{Flow: FlowFeatures{AS: 1, Prefix: 200, Loc: 1, Region: 1, Type: 1}, Link: 2, Bytes: 10},
+		{Flow: FlowFeatures{AS: 2, Prefix: 300, Loc: 2, Region: 2, Type: 1}, Link: 1, Bytes: 10},
+	}
+	c := Cardinalities(recs)
+	if c.AS != 2 || c.Prefix != 3 || c.Loc != 2 || c.Region != 2 || c.Type != 1 {
+		t.Errorf("feature cardinalities wrong: %+v", c)
+	}
+	// Two records share the A and AL tuples (same AS, loc, dest) but
+	// differ in prefix.
+	if c.TuplesA != 2 || c.TuplesAL != 2 || c.TuplesAP != 3 {
+		t.Errorf("tuple cardinalities wrong: %+v", c)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{AS: 64496, Prefix: 0x0b000100, Region: 9, Type: 1}
+	s := tu.String()
+	if s == "" {
+		t.Fatal("empty tuple string")
+	}
+	al := Tuple{AS: 64496, Loc: 5, Region: 9, Type: 1}
+	if al.String() == s {
+		t.Fatal("different tuples render identically")
+	}
+}

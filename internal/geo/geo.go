@@ -1,0 +1,210 @@
+// Package geo provides the geographic substrate TIPSY's AL models and
+// the AL+G geographic-distance completion rely on: a database of world
+// metropolitan areas, great-circle distance, and a Geo-IP service
+// mapping source prefixes to metros.
+//
+// The paper uses a proprietary Microsoft geolocation database; §5.3.1
+// observes that metro-level precision is sufficient for learning
+// hot-potato behaviour. This package therefore works at metro
+// granularity and lets callers inject a configurable error rate to
+// model Geo-IP imprecision.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// MetroID identifies a metropolitan area. IDs start at 1 so the zero
+// value can mean "unknown/unused" in feature tuples.
+type MetroID uint16
+
+// Metro is one metropolitan area.
+type Metro struct {
+	ID      MetroID
+	Name    string
+	Country string
+	Lat     float64 // degrees north
+	Lon     float64 // degrees east
+}
+
+// Coord is a point on the globe.
+type Coord struct {
+	Lat float64
+	Lon float64
+}
+
+// Coord returns the metro's coordinates.
+func (m Metro) Coord() Coord { return Coord{m.Lat, m.Lon} }
+
+// earthRadiusKm is the mean Earth radius used for great-circle math.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// coordinates in kilometres.
+func DistanceKm(a, b Coord) float64 {
+	const degToRad = math.Pi / 180
+	lat1, lat2 := a.Lat*degToRad, b.Lat*degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// DB is an immutable metro database.
+type DB struct {
+	metros []Metro // index = MetroID-1
+}
+
+// World returns the built-in database of major world metros where
+// large WANs commonly peer.
+func World() *DB {
+	db := &DB{metros: make([]Metro, len(worldMetros))}
+	copy(db.metros, worldMetros[:])
+	for i := range db.metros {
+		db.metros[i].ID = MetroID(i + 1)
+	}
+	return db
+}
+
+// Len reports the number of metros.
+func (db *DB) Len() int { return len(db.metros) }
+
+// Metro returns the metro with the given ID.
+func (db *DB) Metro(id MetroID) (Metro, bool) {
+	if id == 0 || int(id) > len(db.metros) {
+		return Metro{}, false
+	}
+	return db.metros[id-1], true
+}
+
+// MustMetro is Metro but panics on an unknown ID; for use with IDs the
+// program itself produced.
+func (db *DB) MustMetro(id MetroID) Metro {
+	m, ok := db.Metro(id)
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown metro id %d", id))
+	}
+	return m
+}
+
+// All returns every metro in ID order. The caller must not modify the
+// returned slice.
+func (db *DB) All() []Metro { return db.metros }
+
+// Distance returns the great-circle distance between two metros in km.
+func (db *DB) Distance(a, b MetroID) float64 {
+	ma, oka := db.Metro(a)
+	mb, okb := db.Metro(b)
+	if !oka || !okb {
+		return math.Inf(1)
+	}
+	return DistanceKm(ma.Coord(), mb.Coord())
+}
+
+// Nearest returns, from candidates, the metro closest to origin. With
+// an empty candidate list it returns 0.
+func (db *DB) Nearest(origin MetroID, candidates []MetroID) MetroID {
+	best := MetroID(0)
+	bestD := math.Inf(1)
+	for _, c := range candidates {
+		if d := db.Distance(origin, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// RankByDistance returns candidates ordered by increasing distance
+// from origin, using insertion order as a deterministic tie-break.
+func (db *DB) RankByDistance(origin MetroID, candidates []MetroID) []MetroID {
+	type cd struct {
+		id MetroID
+		d  float64
+	}
+	ranked := make([]cd, len(candidates))
+	for i, c := range candidates {
+		ranked[i] = cd{c, db.Distance(origin, c)}
+	}
+	// Stable insertion sort: candidate lists are short.
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && ranked[j].d < ranked[j-1].d; j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	out := make([]MetroID, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.id
+	}
+	return out
+}
+
+// worldMetros lists 64 major metros. Coordinates are approximate city
+// centers; metro-level precision is all the models need.
+var worldMetros = [...]Metro{
+	{Name: "Seattle", Country: "US", Lat: 47.61, Lon: -122.33},
+	{Name: "San Jose", Country: "US", Lat: 37.34, Lon: -121.89},
+	{Name: "Los Angeles", Country: "US", Lat: 34.05, Lon: -118.24},
+	{Name: "Phoenix", Country: "US", Lat: 33.45, Lon: -112.07},
+	{Name: "Denver", Country: "US", Lat: 39.74, Lon: -104.99},
+	{Name: "Dallas", Country: "US", Lat: 32.78, Lon: -96.80},
+	{Name: "Houston", Country: "US", Lat: 29.76, Lon: -95.37},
+	{Name: "Chicago", Country: "US", Lat: 41.88, Lon: -87.63},
+	{Name: "Atlanta", Country: "US", Lat: 33.75, Lon: -84.39},
+	{Name: "Miami", Country: "US", Lat: 25.76, Lon: -80.19},
+	{Name: "Ashburn", Country: "US", Lat: 39.04, Lon: -77.49},
+	{Name: "New York", Country: "US", Lat: 40.71, Lon: -74.01},
+	{Name: "Boston", Country: "US", Lat: 42.36, Lon: -71.06},
+	{Name: "Toronto", Country: "CA", Lat: 43.65, Lon: -79.38},
+	{Name: "Montreal", Country: "CA", Lat: 45.50, Lon: -73.57},
+	{Name: "Vancouver", Country: "CA", Lat: 49.28, Lon: -123.12},
+	{Name: "Mexico City", Country: "MX", Lat: 19.43, Lon: -99.13},
+	{Name: "Sao Paulo", Country: "BR", Lat: -23.55, Lon: -46.63},
+	{Name: "Rio de Janeiro", Country: "BR", Lat: -22.91, Lon: -43.17},
+	{Name: "Buenos Aires", Country: "AR", Lat: -34.60, Lon: -58.38},
+	{Name: "Santiago", Country: "CL", Lat: -33.45, Lon: -70.67},
+	{Name: "Bogota", Country: "CO", Lat: 4.71, Lon: -74.07},
+	{Name: "London", Country: "GB", Lat: 51.51, Lon: -0.13},
+	{Name: "Manchester", Country: "GB", Lat: 53.48, Lon: -2.24},
+	{Name: "Dublin", Country: "IE", Lat: 53.35, Lon: -6.26},
+	{Name: "Paris", Country: "FR", Lat: 48.86, Lon: 2.35},
+	{Name: "Marseille", Country: "FR", Lat: 43.30, Lon: 5.37},
+	{Name: "Amsterdam", Country: "NL", Lat: 52.37, Lon: 4.90},
+	{Name: "Brussels", Country: "BE", Lat: 50.85, Lon: 4.35},
+	{Name: "Frankfurt", Country: "DE", Lat: 50.11, Lon: 8.68},
+	{Name: "Berlin", Country: "DE", Lat: 52.52, Lon: 13.41},
+	{Name: "Munich", Country: "DE", Lat: 48.14, Lon: 11.58},
+	{Name: "Zurich", Country: "CH", Lat: 47.38, Lon: 8.54},
+	{Name: "Milan", Country: "IT", Lat: 45.46, Lon: 9.19},
+	{Name: "Rome", Country: "IT", Lat: 41.90, Lon: 12.50},
+	{Name: "Madrid", Country: "ES", Lat: 40.42, Lon: -3.70},
+	{Name: "Barcelona", Country: "ES", Lat: 41.39, Lon: 2.17},
+	{Name: "Lisbon", Country: "PT", Lat: 38.72, Lon: -9.14},
+	{Name: "Stockholm", Country: "SE", Lat: 59.33, Lon: 18.07},
+	{Name: "Oslo", Country: "NO", Lat: 59.91, Lon: 10.75},
+	{Name: "Copenhagen", Country: "DK", Lat: 55.68, Lon: 12.57},
+	{Name: "Helsinki", Country: "FI", Lat: 60.17, Lon: 24.94},
+	{Name: "Warsaw", Country: "PL", Lat: 52.23, Lon: 21.01},
+	{Name: "Vienna", Country: "AT", Lat: 48.21, Lon: 16.37},
+	{Name: "Prague", Country: "CZ", Lat: 50.08, Lon: 14.44},
+	{Name: "Istanbul", Country: "TR", Lat: 41.01, Lon: 28.98},
+	{Name: "Tel Aviv", Country: "IL", Lat: 32.09, Lon: 34.78},
+	{Name: "Dubai", Country: "AE", Lat: 25.20, Lon: 55.27},
+	{Name: "Johannesburg", Country: "ZA", Lat: -26.20, Lon: 28.05},
+	{Name: "Cape Town", Country: "ZA", Lat: -33.92, Lon: 18.42},
+	{Name: "Lagos", Country: "NG", Lat: 6.52, Lon: 3.38},
+	{Name: "Nairobi", Country: "KE", Lat: -1.29, Lon: 36.82},
+	{Name: "Mumbai", Country: "IN", Lat: 19.08, Lon: 72.88},
+	{Name: "Chennai", Country: "IN", Lat: 13.08, Lon: 80.27},
+	{Name: "Delhi", Country: "IN", Lat: 28.70, Lon: 77.10},
+	{Name: "Singapore", Country: "SG", Lat: 1.35, Lon: 103.82},
+	{Name: "Jakarta", Country: "ID", Lat: -6.21, Lon: 106.85},
+	{Name: "Hong Kong", Country: "HK", Lat: 22.32, Lon: 114.17},
+	{Name: "Taipei", Country: "TW", Lat: 25.03, Lon: 121.57},
+	{Name: "Seoul", Country: "KR", Lat: 37.57, Lon: 126.98},
+	{Name: "Tokyo", Country: "JP", Lat: 35.68, Lon: 139.69},
+	{Name: "Osaka", Country: "JP", Lat: 34.69, Lon: 135.50},
+	{Name: "Sydney", Country: "AU", Lat: -33.87, Lon: 151.21},
+	{Name: "Melbourne", Country: "AU", Lat: -37.81, Lon: 144.96},
+}

@@ -1,0 +1,285 @@
+package ipfix
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecord(i uint32) *FlowRecord {
+	return &FlowRecord{
+		SrcAddr:   0x0a000000 + i,
+		DstAddr:   0xc0000200 + i,
+		Octets:    uint64(1000+i) * 4096,
+		Packets:   uint64(1+i) * 4096,
+		Ingress:   100 + i,
+		SrcAS:     64512 + i,
+		StartSecs: 3600,
+		EndSecs:   7200,
+	}
+}
+
+func TestFlowRecordRoundTrip(t *testing.T) {
+	r := sampleRecord(7)
+	got, err := UnmarshalFlowRecord(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != *r {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, *r)
+	}
+}
+
+func TestFlowRecordRoundTripProperty(t *testing.T) {
+	f := func(src, dst, ing, as, st, en uint32, oct, pkt uint64) bool {
+		r := FlowRecord{src, dst, oct, pkt, ing, as, st, en}
+		got, err := UnmarshalFlowRecord(r.Marshal())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowRecordBadLength(t *testing.T) {
+	if _, err := UnmarshalFlowRecord(make([]byte, flowRecordLen-1)); err == nil {
+		t.Error("short record should fail")
+	}
+}
+
+func TestTemplateRecordLen(t *testing.T) {
+	tmpl := FlowTemplate()
+	if got := tmpl.RecordLen(); got != flowRecordLen {
+		t.Errorf("RecordLen = %d, want %d", got, flowRecordLen)
+	}
+}
+
+func TestExporterCollectorRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewExporter(&buf, 42)
+	want := make([]FlowRecord, 100)
+	for i := range want {
+		want[i] = *sampleRecord(uint32(i))
+		if err := exp.Export(&want[i], 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(1000); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Sequence() != 100 {
+		t.Errorf("sequence = %d, want 100", exp.Sequence())
+	}
+
+	col := NewCollector()
+	var got []FlowRecord
+	err := col.ReadStream(&buf, func(domain uint32, rec FlowRecord) {
+		if domain != 42 {
+			t.Errorf("domain = %d, want 42", domain)
+		}
+		got = append(got, rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	msgs, recs, lost := col.Stats()
+	if recs != 100 || lost != 0 {
+		t.Errorf("stats: msgs=%d recs=%d lost=%d", msgs, recs, lost)
+	}
+	if msgs < 2 {
+		t.Errorf("100 records should span multiple messages under the MTU cap, got %d", msgs)
+	}
+}
+
+func TestMessagesRespectSizeCap(t *testing.T) {
+	var msgs [][]byte
+	w := writerFunc(func(p []byte) (int, error) {
+		msgs = append(msgs, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	exp := NewExporter(w, 1)
+	for i := 0; i < 500; i++ {
+		if err := exp.Export(sampleRecord(uint32(i)), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exp.Flush(0)
+	for i, m := range msgs {
+		if len(m) > maxMessageLen {
+			t.Errorf("message %d is %d bytes, exceeds cap %d", i, len(m), maxMessageLen)
+		}
+		if got := WireLen(m); got != len(m) {
+			t.Errorf("message %d: header length %d != actual %d", i, got, len(m))
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestCollectorDetectsLoss(t *testing.T) {
+	var msgs [][]byte
+	w := writerFunc(func(p []byte) (int, error) {
+		msgs = append(msgs, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	exp := NewExporter(w, 9)
+	for i := 0; i < 400; i++ {
+		exp.Export(sampleRecord(uint32(i)), 0)
+	}
+	exp.Flush(0)
+	if len(msgs) < 3 {
+		t.Skip("need at least 3 messages to drop the middle one")
+	}
+	col := NewCollector()
+	n := 0
+	// Drop the second message to create a sequence gap. Templates are
+	// carried in message 0, so decoding still works.
+	for i, m := range msgs {
+		if i == 1 {
+			continue
+		}
+		if err := col.HandleMessage(m, func(uint32, FlowRecord) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, lost := col.Stats()
+	if lost == 0 {
+		t.Error("dropped message should register as sequence loss")
+	}
+}
+
+func TestCollectorUnknownTemplate(t *testing.T) {
+	// A data set arriving before any template must fail cleanly.
+	set := marshalDataSet(FlowTemplateID, [][]byte{sampleRecord(0).Marshal()})
+	msg := marshalMessage(0, 0, 5, [][]byte{set})
+	col := NewCollector()
+	if err := col.HandleMessage(msg, func(uint32, FlowRecord) {}); err == nil {
+		t.Error("data without template should error")
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	msg := marshalMessage(0, 0, 1, nil)
+	msg[0], msg[1] = 0, 9 // NetFlow v9, not IPFIX
+	if _, err := Decode(msg, map[uint16]Template{}); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewExporter(&buf, 1)
+	exp.Export(sampleRecord(1), 0)
+	exp.Flush(0)
+	msg := buf.Bytes()
+	for cut := 1; cut < len(msg); cut += 11 {
+		_, err := Decode(msg[:cut], map[uint16]Template{})
+		if err == nil && cut < msgHeaderLen {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+func TestTemplatePeriodicResend(t *testing.T) {
+	var msgs [][]byte
+	w := writerFunc(func(p []byte) (int, error) {
+		msgs = append(msgs, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	exp := NewExporter(w, 1)
+	for m := 0; m < templateResendEvery+1; m++ {
+		for i := 0; i < 40; i++ { // enough to force one flush per batch
+			exp.Export(sampleRecord(uint32(i)), 0)
+		}
+		exp.Flush(0)
+	}
+	// A collector that starts listening after the first message must
+	// eventually recover once the template is re-announced.
+	col := NewCollector()
+	recovered := 0
+	for _, m := range msgs[1:] {
+		if err := col.HandleMessage(m, func(uint32, FlowRecord) { recovered++ }); err == nil && recovered > 0 {
+			break
+		}
+	}
+	if recovered == 0 {
+		t.Error("late-joining collector never recovered a template")
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	s := NewSampler(1, 1)
+	o, p, ok := s.Sample(1000, 10)
+	if !ok || o != 1000 || p != 10 {
+		t.Errorf("interval 1 should pass through, got %d %d %v", o, p, ok)
+	}
+}
+
+func TestSamplerUnbiased(t *testing.T) {
+	s := NewSampler(4096, 99)
+	const trials = 3000
+	const octets, packets = 1 << 24, 40960 // 10 expected samples per flow
+	var sum float64
+	missed := 0
+	for i := 0; i < trials; i++ {
+		o, _, ok := s.Sample(octets, packets)
+		if !ok {
+			missed++
+			continue
+		}
+		sum += float64(o)
+	}
+	mean := sum / trials
+	if math.Abs(mean-octets)/octets > 0.05 {
+		t.Errorf("sampling biased: mean %.0f vs true %d", mean, octets)
+	}
+	if missed > trials/100 {
+		t.Errorf("flow with 10 expected samples missed too often: %d/%d", missed, trials)
+	}
+}
+
+func TestSamplerMissesSmallFlows(t *testing.T) {
+	s := NewSampler(4096, 5)
+	missed := 0
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := s.Sample(1500, 1); !ok {
+			missed++
+		}
+	}
+	if missed < 900 {
+		t.Errorf("single-packet flows should nearly always be missed at 1/4096, missed %d/1000", missed)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, lambda := range []float64{0.5, 5, 50, 500} {
+		var sum, sum2 float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := float64(poisson(rng, lambda))
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("lambda=%v: mean %.2f", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.15 {
+			t.Errorf("lambda=%v: variance %.2f", lambda, variance)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package ipfix
+
+import "encoding/binary"
+
+// SamplingTemplateID is the options template describing the exporting
+// process's packet sampling configuration. The paper's pipeline needs
+// the sampling rate to scale counts; carrying it in-band as an
+// options record (RFC 7011 §3.4.2.2) is how real exporters announce
+// it.
+const SamplingTemplateID = 257
+
+// samplingTemplate describes one options record: the observation
+// domain's sampling interval.
+func samplingTemplate() Template {
+	return Template{
+		ID: SamplingTemplateID,
+		Fields: []FieldSpec{
+			{ID: IESamplingInterval, Length: 4},
+		},
+	}
+}
+
+// marshalOptionsTemplateSet encodes an options template set
+// (RFC 7011 §3.4.2): set ID 3, with a scope field count. The sampling
+// template scopes its single field to the observation domain, so the
+// scope field count is 0 fields + the IE itself as non-scope; for the
+// substrate's fixed-schema decoding we keep the template layout
+// identical to a data template with a scope count of 1.
+func marshalOptionsTemplateSet(t Template) []byte {
+	body := make([]byte, 0, 16)
+	body = binary.BigEndian.AppendUint16(body, t.ID)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(t.Fields)))
+	body = binary.BigEndian.AppendUint16(body, 1) // scope field count
+	for _, f := range t.Fields {
+		body = binary.BigEndian.AppendUint16(body, f.ID)
+		body = binary.BigEndian.AppendUint16(body, f.Length)
+	}
+	set := make([]byte, 0, setHeaderLen+len(body))
+	set = binary.BigEndian.AppendUint16(set, SetIDOptionsTemplate)
+	set = binary.BigEndian.AppendUint16(set, uint16(setHeaderLen+len(body)))
+	return append(set, body...)
+}
+
+// AnnounceSampling emits an options template and data record stating
+// the exporter's sampling interval. Exporters call it once at
+// start-up (and the substrate's collectors surface it via
+// Collector.SamplingInterval).
+func (e *Exporter) AnnounceSampling(interval uint32, exportTime uint32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := samplingTemplate()
+	data := binary.BigEndian.AppendUint32(nil, interval)
+	sets := [][]byte{
+		marshalOptionsTemplateSet(t),
+		marshalDataSet(t.ID, [][]byte{data}),
+	}
+	msg := marshalMessage(exportTime, e.seq, e.domain, sets)
+	e.seq++ // the options record counts toward the sequence
+	_, err := e.w.Write(msg)
+	return err
+}

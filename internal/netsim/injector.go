@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/wan"
+)
+
+// The paper's congestion mitigation system "injects BGP withdrawal
+// messages into the edge router" (§4.4). This file is that path over
+// real BGP: edge routers terminate an iBGP-style control session, and
+// UPDATEs received on it change the simulator's announcement state.
+// The target peering link is identified by the client's BGP ID.
+
+// ServeInjection accepts control sessions on ln until the listener
+// closes. Each accepted session is served on its own goroutine; every
+// UPDATE received applies its withdrawals and announcements to the
+// link named by the client's BGP identifier.
+func (s *Sim) ServeInjection(ln net.Listener, localAS bgp.ASN) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveInjectionConn(conn, localAS)
+	}
+}
+
+func (s *Sim) serveInjectionConn(conn net.Conn, localAS bgp.ASN) {
+	sess := bgp.NewSession(conn, localAS, 0xffffff01, 180)
+	if err := sess.Establish(); err != nil {
+		conn.Close()
+		return
+	}
+	defer sess.Close()
+	link := wan.LinkID(sess.PeerOpen().BGPID)
+	if _, ok := s.Link(link); !ok {
+		sess.Notify(6, 3, nil) // Cease / Peer De-configured
+		return
+	}
+	for {
+		msg, err := sess.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *bgp.Update:
+			for _, p := range m.Withdrawn {
+				s.Withdraw(link, p)
+			}
+			for _, p := range m.NLRI {
+				s.Announce(link, p)
+			}
+		case *bgp.Notification:
+			return
+		}
+	}
+}
+
+// InjectionClient is the CMS side of the control path: one BGP
+// session per targeted peering link.
+type InjectionClient struct {
+	sess *bgp.Session
+	link wan.LinkID
+}
+
+// DialInjection opens a control session to an edge router serving
+// ServeInjection and targets the given link.
+func DialInjection(addr string, localAS bgp.ASN, link wan.LinkID) (*InjectionClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sess := bgp.NewSession(conn, localAS, uint32(link), 180)
+	if err := sess.Establish(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &InjectionClient{sess: sess, link: link}, nil
+}
+
+// Link returns the targeted peering link.
+func (c *InjectionClient) Link() wan.LinkID { return c.link }
+
+// Withdraw injects a withdrawal for prefix at the client's link.
+func (c *InjectionClient) Withdraw(prefix bgp.Prefix) error {
+	return c.sess.SendUpdate(&bgp.Update{Withdrawn: []bgp.Prefix{prefix}})
+}
+
+// Announce re-announces prefix at the client's link.
+func (c *InjectionClient) Announce(prefix bgp.Prefix) error {
+	return c.sess.SendUpdate(&bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  nil, // iBGP-style: locally originated
+			NextHop: bgp.V4(198, 19, byte(c.link>>8), byte(c.link)),
+		},
+		NLRI: []bgp.Prefix{prefix},
+	})
+}
+
+// Close shuts the session down with an administrative NOTIFICATION.
+func (c *InjectionClient) Close() error {
+	err := c.sess.Notify(6, 2, nil) // Cease / Administrative Shutdown
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestInjectionOverBGP(t *testing.T) {
+	s := testSim(t, 41)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go s.ServeInjection(ln, s.Graph().Cloud())
+
+	link := s.Links()[3]
+	prefix := s.Workload().Anycast[0]
+
+	client, err := DialInjection(ln.Addr().String(), s.Graph().Cloud(), link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Link() != link {
+		t.Fatalf("client targets link %d, want %d", client.Link(), link)
+	}
+
+	if err := client.Withdraw(prefix); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.IsWithdrawn(link, prefix) },
+		"withdrawal never reached the simulator")
+
+	if err := client.Announce(prefix); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return !s.IsWithdrawn(link, prefix) },
+		"re-announcement never reached the simulator")
+}
+
+func TestInjectionRejectsUnknownLink(t *testing.T) {
+	s := testSim(t, 42)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go s.ServeInjection(ln, s.Graph().Cloud())
+
+	bogus := s.Links()[len(s.Links())-1] + 999
+	client, err := DialInjection(ln.Addr().String(), s.Graph().Cloud(), bogus)
+	if err != nil {
+		// The server may refuse before the handshake completes.
+		return
+	}
+	defer client.Close()
+	// The server sends Cease and closes; the next send or receive
+	// must fail shortly after.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := client.Withdraw(s.Workload().Anycast[0]); err != nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("session to unknown link never torn down")
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

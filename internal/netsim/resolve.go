@@ -1,0 +1,466 @@
+package netsim
+
+import (
+	"sort"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/geo"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+// maxWalkDepth bounds the AS-level path length; valley-free chains in
+// the generated topologies are at most ~6 hops.
+const maxWalkDepth = 10
+
+// ResolveFlow computes where the flow's bytes ingress the WAN at hour
+// h under the current announcement and outage state, as a set of
+// links with fractional byte shares summing to 1 (or an empty slice
+// if the flow has no route, e.g. every reachable link lost the
+// prefix).
+//
+// Resolution follows the paper's model of reality: each AS along the
+// way makes an independent Gao-Rexford choice — direct peer routes
+// beat transit, then hot-potato geographic cost with per-(AS, prefix)
+// policy noise that re-rolls on that AS's drift schedule, with
+// near-tie candidates sharing load (ECMP / flow spraying).
+func (s *Sim) ResolveFlow(f *traffic.FlowSpec, h wan.Hour) []LinkShare {
+	prefix := s.dstPrefix[f.ID]
+	var excluded []wan.LinkID
+	shares := s.resolveCached(f, h, excluded)
+	for iter := 0; iter < 16; iter++ {
+		bad := excluded[:0:0]
+		for _, sh := range shares {
+			if !s.Available(sh.Link, prefix, h) {
+				bad = append(bad, sh.Link)
+			}
+		}
+		if len(bad) == 0 {
+			return s.concentrate(f, h, shares)
+		}
+		excluded = append(excluded, bad...)
+		sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
+		shares = s.resolveCached(f, h, excluded)
+		if len(shares) == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// concentrateBucketHours is the period of the load-balancing
+// schedule: within one bucket a flow rides a single dominant link;
+// across buckets the winner rotates according to the steady split.
+const concentrateBucketHours = 6
+
+// concentrationFrac is the share of a flow's bytes its current winner
+// carries at any instant.
+const concentrationFrac = 0.92
+
+// concentrate converts the steady multi-link split into what traffic
+// looks like at one instant: mostly on a single winner that rotates
+// over multi-hour buckets, with winners drawn proportionally to the
+// steady split. The paper observes exactly this — flows touch many
+// links across a week (the overall oracle's top-1 is only ~80%), yet
+// during a short outage window traffic is concentrated (the
+// seen-outage oracle's top-1 is ~95%).
+func (s *Sim) concentrate(f *traffic.FlowSpec, h wan.Hour, steady []LinkShare) []LinkShare {
+	if len(steady) <= 1 {
+		return steady
+	}
+	bucket := uint64(h) / concentrateBucketHours
+	u := float64(traffic.Hash(uint64(f.ID)*0x51b5297f+bucket)>>11) / (1 << 53)
+	winner := 0
+	cum := 0.0
+	for i, sh := range steady {
+		cum += sh.Frac
+		if u < cum {
+			winner = i
+			break
+		}
+	}
+	out := make([]LinkShare, len(steady))
+	rest := 1 - steady[winner].Frac
+	for i, sh := range steady {
+		if i == winner {
+			out[i] = LinkShare{Link: sh.Link, Frac: concentrationFrac}
+			continue
+		}
+		frac := 0.0
+		if rest > 0 {
+			frac = (1 - concentrationFrac) * sh.Frac / rest
+		}
+		out[i] = LinkShare{Link: sh.Link, Frac: frac}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frac > out[j].Frac })
+	return out
+}
+
+// resolveCached memoizes full resolutions by (flow, day, exclusion
+// set). Entries depend only on those inputs — availability is applied
+// by the caller's exclusion loop — so the cache never needs
+// invalidation when withdrawals change.
+func (s *Sim) resolveCached(f *traffic.FlowSpec, h wan.Hour, excluded []wan.LinkID) []LinkShare {
+	key := resKey{flow: int32(f.ID), day: int32(h.Day()), excl: hashLinks(excluded)}
+	s.cacheMu.RLock()
+	if shares, ok := s.cache[key]; ok {
+		s.cacheMu.RUnlock()
+		return shares
+	}
+	s.cacheMu.RUnlock()
+	shares := s.walk(f.SrcAS, f.SrcMetro, f, int32(h.Day()), excluded, key.excl, nil, 0)
+	normalize(shares)
+	s.cacheMu.Lock()
+	s.cache[key] = shares
+	s.cacheMu.Unlock()
+	return shares
+}
+
+// hashLinks summarizes an exclusion set; the empty set hashes to 0,
+// which marks steady-state (non-failover) resolution.
+func hashLinks(links []wan.LinkID) uint64 {
+	if len(links) == 0 {
+		return 0
+	}
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, l := range links {
+		h = traffic.Hash(h ^ uint64(l))
+	}
+	return h
+}
+
+func normalize(shares []LinkShare) {
+	var sum float64
+	for _, sh := range shares {
+		sum += sh.Frac
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range shares {
+		shares[i].Frac /= sum
+	}
+}
+
+// salt returns the policy-noise epoch of an AS on a given day. When
+// the epoch rolls over, every noise value the AS contributes re-rolls
+// — the "constant change" of Internet routing (§2), and the reason
+// trained models go stale (Appendix B).
+func (s *Sim) salt(asn bgp.ASN, day int32) uint64 {
+	per := s.driftPer[asn]
+	if per <= 0 {
+		per = 1 << 30
+	}
+	epoch := (day + s.driftOff[asn]) / per
+	return traffic.Hash(uint64(asn)<<20 ^ uint64(uint32(epoch)))
+}
+
+func h2u(h uint64) float64 { return float64(h%4096) / 4096 }
+
+// noiseKm returns the deterministic policy-noise distance an AS adds
+// when comparing exit candidates for a flow. The dominant component
+// is keyed by (AS, current metro, destination prefix, candidate) —
+// BGP selects paths per destination prefix, so flows entering an AS
+// at the same place bound for the same prefix share a fate, which is
+// what makes the AL feature set work. A small source-prefix component
+// models intra-metro diversity (it is why AP retains an edge over
+// AL), and a drifting component re-rolls on the AS's drift schedule —
+// routing policy changes incrementally, flipping near-tie decisions
+// rather than re-shuffling the whole AS.
+func (s *Sim) noiseKm(asn bgp.ASN, m geo.MetroID, f *traffic.FlowSpec, candidate uint64, day int32, exclKey uint64) float64 {
+	dst := uint64(s.dstPrefix[f.ID].Addr)
+	main := uint64(asn)<<40 ^ uint64(m)<<28 ^ dst<<4 ^ candidate
+	stable := traffic.Hash(main)
+	srcTweak := traffic.Hash(uint64(f.SrcPrefix)<<8 ^ candidate ^ uint64(asn))
+	drifting := traffic.Hash(s.salt(asn, day) ^ main)
+	u := 0.53*h2u(stable) + 0.15*h2u(srcTweak) + 0.32*h2u(drifting)
+	if exclKey != 0 {
+		// Re-routing around failed or withdrawn links: BGP path
+		// exploration and per-router convergence races make the
+		// failover choice less predictable than steady-state
+		// selection, though still anchored in geography. The scramble
+		// is deterministic in the exclusion set, so an outage that
+		// also occurred in training reproduces the same failover —
+		// which is exactly why the paper finds seen outages highly
+		// predictable and unseen ones hard.
+		fo := traffic.Hash(stable ^ exclKey)
+		u = 0.70*u + 0.30*h2u(fo)
+	}
+	return u * s.cfg.NoiseKm
+}
+
+type exitCand struct {
+	link    wan.LinkID // 0 when the candidate is a transit AS
+	via     bgp.ASN
+	viaM    geo.MetroID
+	cost    float64 // noisy hot-potato cost
+	rawCost float64 // geographic distance only
+}
+
+// walk resolves the ingress links for a flow currently inside AS asn
+// at metro m. excluded links are treated as not carrying the prefix.
+func (s *Sim) walk(asn bgp.ASN, m geo.MetroID, f *traffic.FlowSpec, day int32,
+	excluded []wan.LinkID, exclKey uint64, visited []bgp.ASN, depth int) []LinkShare {
+	if depth > maxWalkDepth {
+		return nil
+	}
+	for _, v := range visited {
+		if v == asn {
+			return nil
+		}
+	}
+	a, ok := s.g.AS(asn)
+	if !ok {
+		return nil
+	}
+
+	// The island the flow is in constrains which of the AS's own
+	// facilities it can reach: fragmented CDNs have no backbone
+	// between islands.
+	var island []geo.MetroID
+	if len(a.Islands) > 1 {
+		if idx := a.Island(m); idx >= 0 {
+			island = a.Islands[idx]
+		}
+	}
+
+	direct := s.directCandidates(asn, m, island, f, day, excluded, exclKey)
+
+	if len(direct) > 0 {
+		// Gao-Rexford: the direct (peer) route wins on local-pref —
+		// unless this AS prefers local public connectivity and its
+		// nearest own exit is a long haul away.
+		if s.localExit[asn] && direct[0].rawCost > s.cfg.LocalExitThresholdKm {
+			if t := s.bestTransitCost(asn, m, island, f, day, exclKey, visited); t >= 0 && t < direct[0].rawCost {
+				if shares := s.transit(asn, m, island, f, day, excluded, exclKey, visited, depth); len(shares) > 0 {
+					return shares
+				}
+			}
+		}
+		return s.ecmpLinks(direct)
+	}
+	return s.transit(asn, m, island, f, day, excluded, exclKey, visited, depth)
+}
+
+// directCandidates lists the AS's own cloud peering links that carry
+// the prefix, with noisy hot-potato costs, sorted cheapest first.
+func (s *Sim) directCandidates(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, excluded []wan.LinkID, exclKey uint64) []exitCand {
+	links := s.linksByAS[asn]
+	if len(links) == 0 {
+		return nil
+	}
+	var out []exitCand
+	for _, id := range links {
+		if containsLink(excluded, id) {
+			continue
+		}
+		l := s.links[id-1]
+		if island != nil && !containsMetro(island, l.Metro) {
+			continue
+		}
+		raw := s.metros.Distance(m, l.Metro)
+		cost := raw + s.noiseKm(asn, m, f, uint64(id), day, exclKey)
+		out = append(out, exitCand{link: id, cost: cost, rawCost: raw})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		return out[i].link < out[j].link
+	})
+	return out
+}
+
+// ecmpLinks converts the cheapest direct candidates into load-shared
+// link fractions: every candidate within EcmpTolKm of the best shares
+// traffic, with geometrically decreasing weights.
+func (s *Sim) ecmpLinks(cands []exitCand) []LinkShare {
+	best := cands[0].cost
+	shares := make([]LinkShare, 0, 3)
+	w := 1.0
+	for _, c := range cands {
+		if c.cost > best+s.cfg.EcmpTolKm || len(shares) == 3 {
+			break
+		}
+		shares = append(shares, LinkShare{Link: c.link, Frac: w})
+		w *= 0.45
+	}
+	normalize(shares)
+	return shares
+}
+
+// transitCands lists the neighbor ASes this AS would hand
+// cloud-bound traffic to, cheapest first: providers on shortest
+// valley-free chains, with the peer clique as a last resort for
+// transit-free networks.
+func (s *Sim) transitCands(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, exclKey uint64, visited []bgp.ASN) []exitCand {
+	d, reach := s.dist[asn]
+	var out []exitCand
+	addCand := func(nb bgp.ASN, metros []geo.MetroID) {
+		im := s.interconnect(m, island, metros)
+		if im == 0 {
+			return
+		}
+		raw := s.metros.Distance(m, im)
+		cost := raw + s.noiseKm(asn, m, f, uint64(nb)<<24, day, exclKey)
+		out = append(out, exitCand{via: nb, viaM: im, cost: cost, rawCost: raw})
+	}
+	for _, e := range s.g.Edges(asn) {
+		if e.Rel != bgp.RelProvider || containsAS(visited, e.Neighbor) {
+			continue
+		}
+		nd, ok := s.dist[e.Neighbor]
+		if !ok {
+			continue
+		}
+		// Prefer strictly-closer providers; allow equal-distance ones
+		// so rerouting after withdrawals still finds a way up.
+		if reach && nd > d {
+			continue
+		}
+		addCand(e.Neighbor, e.Metros)
+	}
+	if len(out) == 0 {
+		// Transit-free networks (tier-1s) whose direct links all lost
+		// the prefix fall back to paid-peering arrangements with the
+		// rest of the clique.
+		for _, e := range s.g.Edges(asn) {
+			if e.Rel != bgp.RelPeer || e.Neighbor == s.g.Cloud() || containsAS(visited, e.Neighbor) {
+				continue
+			}
+			if _, ok := s.dist[e.Neighbor]; !ok {
+				continue
+			}
+			addCand(e.Neighbor, e.Metros)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := s.dist[out[i].via], s.dist[out[j].via]
+		if di != dj {
+			return di < dj
+		}
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		return out[i].via < out[j].via
+	})
+	return out
+}
+
+// bestTransitCost returns the raw geographic cost of the nearest
+// transit hand-off, or -1 if there is none.
+func (s *Sim) bestTransitCost(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, exclKey uint64, visited []bgp.ASN) float64 {
+	cands := s.transitCands(asn, m, island, f, day, exclKey, visited)
+	if len(cands) == 0 {
+		return -1
+	}
+	best := cands[0].rawCost
+	for _, c := range cands[1:] {
+		if c.rawCost < best {
+			best = c.rawCost
+		}
+	}
+	return best
+}
+
+// transit recurses into the cheapest transit hand-offs, splitting the
+// flow when two hand-offs are near-ties.
+func (s *Sim) transit(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, excluded []wan.LinkID, exclKey uint64, visited []bgp.ASN, depth int) []LinkShare {
+	cands := s.transitCands(asn, m, island, f, day, exclKey, visited)
+	if len(cands) == 0 {
+		return nil
+	}
+	visited = append(visited, asn)
+
+	type branch struct {
+		cand   exitCand
+		weight float64
+	}
+	branches := []branch{{cands[0], 1.0}}
+	if len(cands) > 1 &&
+		s.dist[cands[1].via] == s.dist[cands[0].via] &&
+		cands[1].cost <= cands[0].cost+s.cfg.EcmpTolKm {
+		branches = append(branches, branch{cands[1], 0.45})
+	}
+
+	var shares []LinkShare
+	merged := make(map[wan.LinkID]float64)
+	resolvedWeight := 0.0
+	for _, b := range branches {
+		sub := s.walk(b.cand.via, b.cand.viaM, f, day, excluded, exclKey, visited, depth+1)
+		if len(sub) == 0 {
+			continue
+		}
+		resolvedWeight += b.weight
+		for _, sh := range sub {
+			merged[sh.Link] += sh.Frac * b.weight
+		}
+	}
+	if resolvedWeight == 0 {
+		// Both preferred branches dead-ended (e.g. the prefix is gone
+		// from their links too); try the remaining candidates in
+		// order.
+		for _, c := range cands[len(branches):] {
+			sub := s.walk(c.via, c.viaM, f, day, excluded, exclKey, visited, depth+1)
+			if len(sub) > 0 {
+				return sub
+			}
+		}
+		return nil
+	}
+	for l, frac := range merged {
+		shares = append(shares, LinkShare{Link: l, Frac: frac})
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].Link < shares[j].Link })
+	normalize(shares)
+	return shares
+}
+
+// interconnect picks where the flow crosses into the neighbor AS: the
+// allowed interconnection metro nearest to the flow's current metro.
+// Island-bound flows must leave through their island when possible.
+func (s *Sim) interconnect(m geo.MetroID, island []geo.MetroID, edgeMetros []geo.MetroID) geo.MetroID {
+	if island != nil {
+		var inIsland []geo.MetroID
+		for _, em := range edgeMetros {
+			if containsMetro(island, em) {
+				inIsland = append(inIsland, em)
+			}
+		}
+		if len(inIsland) > 0 {
+			return s.metros.Nearest(m, inIsland)
+		}
+	}
+	return s.metros.Nearest(m, edgeMetros)
+}
+
+func containsLink(set []wan.LinkID, id wan.LinkID) bool {
+	for _, l := range set {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+func containsMetro(set []geo.MetroID, id geo.MetroID) bool {
+	for _, m := range set {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAS(set []bgp.ASN, asn bgp.ASN) bool {
+	for _, a := range set {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}

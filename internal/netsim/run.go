@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"tipsy/internal/ipfix"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+// RecordSink receives sampled flow observations as the simulation
+// runs — the role of the paper's distributed IPFIX collectors feeding
+// the data lake. Calls arrive from a single goroutine in
+// deterministic order.
+type RecordSink interface {
+	Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord)
+}
+
+// RecordSinkFunc adapts a function to the RecordSink interface.
+type RecordSinkFunc func(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord)
+
+// Record implements RecordSink.
+func (f RecordSinkFunc) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
+	f(h, link, rec)
+}
+
+// RunOptions controls one simulation run.
+type RunOptions struct {
+	From, To wan.Hour
+	Sink     RecordSink
+	// OnHourEnd, if set, runs after each simulated hour with ground
+	// truth fully accumulated — the hook the congestion mitigation
+	// system uses to observe utilization and inject withdrawals that
+	// take effect the next hour.
+	OnHourEnd func(h wan.Hour)
+}
+
+// Run simulates hours [From, To): it computes each active flow's
+// volume, resolves its ingress links under the current announcement
+// and outage state, accumulates ground-truth link loads, applies
+// 1-in-N packet sampling, and emits IPFIX flow records to the sink.
+func (s *Sim) Run(opts RunOptions) {
+	workers := s.cfg.Workers
+	flows := s.w.Flows
+
+	type obs struct {
+		flowID int
+		link   wan.LinkID
+		rec    ipfix.FlowRecord
+	}
+	for h := opts.From; h < opts.To; h++ {
+		lb := make([]float64, len(s.links))
+		perWorker := make([][]obs, workers)
+		perWorkerLB := make([][]float64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				localLB := make([]float64, len(s.links))
+				var out []obs
+				for i := w; i < len(flows); i += workers {
+					f := &flows[i]
+					bytes, packets := traffic.VolumeAt(f, s.metros, h)
+					if bytes <= 0 {
+						continue
+					}
+					shares := s.ResolveFlow(f, h)
+					for _, sh := range shares {
+						b := bytes * sh.Frac
+						p := packets * sh.Frac
+						localLB[sh.Link-1] += b
+						oct, pkt, ok := s.sampleFlow(f, sh.Link, h, b, p)
+						if !ok {
+							continue
+						}
+						out = append(out, obs{
+							flowID: f.ID,
+							link:   sh.Link,
+							rec: ipfix.FlowRecord{
+								SrcAddr:   f.SrcAddr,
+								DstAddr:   f.DstAddr,
+								Octets:    oct,
+								Packets:   pkt,
+								Ingress:   uint32(sh.Link),
+								SrcAS:     uint32(f.SrcAS),
+								StartSecs: uint32(h) * 3600,
+								EndSecs:   uint32(h)*3600 + 3599,
+							},
+						})
+					}
+				}
+				perWorker[w] = out
+				perWorkerLB[w] = localLB
+			}(w)
+		}
+		wg.Wait()
+
+		var all []obs
+		for w := 0; w < workers; w++ {
+			all = append(all, perWorker[w]...)
+			for i, b := range perWorkerLB[w] {
+				lb[i] += b
+			}
+		}
+		// Deterministic delivery order regardless of worker count.
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].flowID != all[j].flowID {
+				return all[i].flowID < all[j].flowID
+			}
+			return all[i].link < all[j].link
+		})
+		s.lbMu.Lock()
+		s.linkBytes[h] = lb
+		s.lbMu.Unlock()
+		if opts.Sink != nil {
+			for i := range all {
+				opts.Sink.Record(h, all[i].link, &all[i].rec)
+			}
+		}
+		if opts.OnHourEnd != nil {
+			opts.OnHourEnd(h)
+		}
+	}
+}
+
+// sampleFlow applies the router's 1-in-N random packet sampling to
+// one (flow, link, hour) byte share, deterministically keyed so the
+// result is independent of scheduling. Returns scaled-up estimates,
+// matching IPFIX semantics of counts multiplied by the sampling rate.
+func (s *Sim) sampleFlow(f *traffic.FlowSpec, link wan.LinkID, h wan.Hour, bytes, packets float64) (uint64, uint64, bool) {
+	n := s.cfg.SamplingInterval
+	if n <= 1 {
+		if bytes <= 0 {
+			return 0, 0, false
+		}
+		return uint64(bytes), uint64(math.Max(1, packets)), true
+	}
+	key := traffic.Hash(uint64(f.ID)<<32 ^ uint64(link)<<8 ^ uint64(uint32(h)))
+	observed := poissonHash(key, packets/float64(n))
+	if observed == 0 {
+		return 0, 0, false
+	}
+	scaledPkts := observed * uint64(n)
+	bytesPerPkt := bytes / packets
+	return uint64(float64(scaledPkts) * bytesPerPkt), scaledPkts, true
+}
+
+// poissonHash draws Poisson(lambda) using a counter-mode hash stream,
+// so the draw depends only on the key.
+func poissonHash(key uint64, lambda float64) uint64 {
+	if lambda <= 0 {
+		return 0
+	}
+	u := func(i uint64) float64 {
+		return (float64(traffic.Hash(key^(i*0x9e3779b97f4a7c15)) >> 11)) / (1 << 53)
+	}
+	if lambda > 30 {
+		// Normal approximation via Box-Muller.
+		u1, u2 := u(1), u(2)
+		if u1 < 1e-15 {
+			u1 = 1e-15
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		v := lambda + math.Sqrt(lambda)*z
+		if v < 0 {
+			return 0
+		}
+		return uint64(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	p := 1.0
+	var k, i uint64
+	for {
+		i++
+		p *= u(i)
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"tipsy/internal/features"
+	"tipsy/internal/geo"
+	"tipsy/internal/ipfix"
+	"tipsy/internal/netsim"
+	"tipsy/internal/topology"
+	"tipsy/internal/traffic"
+	"tipsy/internal/wan"
+)
+
+func staticMeta(region wan.Region, svc wan.ServiceType) Metadata {
+	return func(dst uint32) (wan.Region, wan.ServiceType, bool) {
+		if dst>>24 != 40 {
+			return 0, 0, false
+		}
+		return region, svc, true
+	}
+}
+
+func TestAggregatorSumsWithinHour(t *testing.T) {
+	g := geo.NewGeoIP(geo.World(), 0, 1)
+	g.Register(0x0b000100, 7)
+	a := NewAggregator(g, staticMeta(3, 2))
+	rec := ipfix.FlowRecord{SrcAddr: 0x0b000105, DstAddr: 40 << 24, Octets: 1000, SrcAS: 64496}
+	a.Record(5, 9, &rec)
+	a.Record(5, 9, &rec)
+	rec2 := rec
+	rec2.Octets = 500
+	a.Record(6, 9, &rec2) // different hour: separate aggregate
+
+	out := a.Records()
+	if len(out) != 2 {
+		t.Fatalf("want 2 aggregates, got %d: %+v", len(out), out)
+	}
+	first := out[0]
+	if first.Hour != 5 || first.Bytes != 2000 || first.Link != 9 {
+		t.Errorf("hour-5 aggregate wrong: %+v", first)
+	}
+	f := first.Flow
+	if f.AS != 64496 || f.Prefix != 0x0b000100 || f.Loc != 7 || f.Region != 3 || f.Type != 2 {
+		t.Errorf("joined features wrong: %+v", f)
+	}
+}
+
+func TestAggregatorDropsUnknownDestinations(t *testing.T) {
+	g := geo.NewGeoIP(geo.World(), 0, 1)
+	a := NewAggregator(g, staticMeta(1, 1))
+	rec := ipfix.FlowRecord{SrcAddr: 0x0b000001, DstAddr: 10 << 24, Octets: 100}
+	a.Record(0, 1, &rec)
+	raw, dropped, pending := a.Stats()
+	if raw != 1 || dropped != 1 || pending != 0 {
+		t.Errorf("stats = %d %d %d", raw, dropped, pending)
+	}
+	if out := a.Records(); len(out) != 0 {
+		t.Errorf("dropped record produced aggregates: %+v", out)
+	}
+}
+
+func TestAggregatorDrainResets(t *testing.T) {
+	g := geo.NewGeoIP(geo.World(), 0, 1)
+	a := NewAggregator(g, staticMeta(1, 1))
+	rec := ipfix.FlowRecord{SrcAddr: 0x0b000001, DstAddr: 40 << 24, Octets: 100}
+	a.Record(0, 1, &rec)
+	if out := a.Records(); len(out) != 1 {
+		t.Fatalf("first drain: %d", len(out))
+	}
+	if out := a.Records(); len(out) != 0 {
+		t.Fatal("drain should reset the accumulator")
+	}
+}
+
+func TestAggregationIsVolumePreserving(t *testing.T) {
+	// §4.2: aggregation merely sums bytes — nothing the models need
+	// is lost, only record count shrinks.
+	metros := geo.World()
+	g := topology.Generate(topology.TestGenConfig(20), metros)
+	w := traffic.Generate(traffic.TestConfig(20), g, metros)
+	cfg := netsim.DefaultConfig(20)
+	cfg.SamplingInterval = 1 // no sampling: exact volume accounting
+	s := netsim.New(cfg, g, metros, w)
+
+	agg := NewAggregator(s.GeoIP(), s.DstMetadata)
+	var rawBytes float64
+	raw := 0
+	s.Run(netsim.RunOptions{From: 0, To: 4, Sink: netsim.RecordSinkFunc(
+		func(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
+			raw++
+			rawBytes += float64(rec.Octets)
+			agg.Record(h, link, rec)
+		})})
+	recs := agg.Records()
+	if len(recs) == 0 {
+		t.Fatal("no aggregates")
+	}
+	if len(recs) > raw {
+		t.Errorf("aggregation grew the data: %d -> %d", raw, len(recs))
+	}
+	var aggBytes float64
+	for _, r := range recs {
+		aggBytes += r.Bytes
+	}
+	if diff := (aggBytes - rawBytes) / rawBytes; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("aggregation changed total volume: %.0f vs %.0f", aggBytes, rawBytes)
+	}
+}
+
+func TestAggregatorDeterministicOrder(t *testing.T) {
+	build := func() []features.Record {
+		g := geo.NewGeoIP(geo.World(), 0, 1)
+		a := NewAggregator(g, staticMeta(1, 1))
+		for i := 0; i < 100; i++ {
+			rec := ipfix.FlowRecord{
+				SrcAddr: 0x0b000000 + uint32(i%7)*256,
+				DstAddr: 40<<24 + uint32(i%3),
+				Octets:  uint64(i + 1),
+				SrcAS:   uint32(100 + i%5),
+			}
+			a.Record(wan.Hour(i%4), wan.LinkID(1+i%6), &rec)
+		}
+		return a.Records()
+	}
+	if !reflect.DeepEqual(build(), build()) {
+		t.Error("aggregate order not deterministic")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []features.Record{
+		{Hour: 1, Flow: features.FlowFeatures{AS: 64496, Prefix: 0x0b000100, Loc: 3, Region: 9, Type: 2}, Link: 4, Bytes: 100},
+		{Hour: 2, Flow: features.FlowFeatures{AS: 174, Prefix: 0x0b000200, Loc: 5, Region: 9, Type: 1}, Link: 7, Bytes: 50},
+		{Hour: 2, Flow: features.FlowFeatures{AS: 64496, Prefix: 0x0b000100, Loc: 3, Region: 9, Type: 2}, Link: 4, Bytes: 25},
+	}
+	enc := Encode(recs)
+	if enc.AS.Len() != 2 || enc.Prefix.Len() != 2 {
+		t.Errorf("dictionary sizes wrong: AS=%d Prefix=%d", enc.AS.Len(), enc.Prefix.Len())
+	}
+	back := enc.Decode()
+	if !reflect.DeepEqual(recs, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, recs)
+	}
+}

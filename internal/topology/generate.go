@@ -1,0 +1,304 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/geo"
+)
+
+// GenConfig parameterizes synthetic Internet generation. The defaults
+// (see DefaultGenConfig) produce a scaled-down Internet with the same
+// structural mix the paper describes for the Azure WAN's neighborhood.
+type GenConfig struct {
+	Seed int64
+	// CloudASN is the ASN of the WAN under study.
+	CloudASN bgp.ASN
+	// Population sizes per AS kind.
+	NTier1, NTier2, NAccess, NCDN, NEnterprise int
+	// CloudMetroFraction is the share of world metros where the cloud
+	// has edge sites.
+	CloudMetroFraction float64
+	// DirectPeeringProb is, per kind, the probability that an AS of
+	// that kind peers directly with the cloud.
+	Tier2DirectProb, AccessDirectProb, EnterpriseDirectProb float64
+}
+
+// DefaultGenConfig returns the standard scaled-down Internet used by
+// the experiment harness.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:                 seed,
+		CloudASN:             64500,
+		NTier1:               8,
+		NTier2:               90,
+		NAccess:              550,
+		NCDN:                 25,
+		NEnterprise:          900,
+		CloudMetroFraction:   0.8,
+		Tier2DirectProb:      0.7,
+		AccessDirectProb:     0.4,
+		EnterpriseDirectProb: 0.03,
+	}
+}
+
+// TestGenConfig returns a small topology for unit tests.
+func TestGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:                 seed,
+		CloudASN:             64500,
+		NTier1:               4,
+		NTier2:               12,
+		NAccess:              40,
+		NCDN:                 4,
+		NEnterprise:          60,
+		CloudMetroFraction:   0.7,
+		Tier2DirectProb:      0.7,
+		AccessDirectProb:     0.4,
+		EnterpriseDirectProb: 0.05,
+	}
+}
+
+// Generate builds a synthetic Internet around the cloud WAN. The same
+// config always yields the same graph.
+func Generate(cfg GenConfig, metros *geo.DB) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New(cfg.CloudASN)
+	all := metros.All()
+
+	// Cloud presence: a large share of world metros.
+	cloudMetros := sampleMetros(rng, all, int(math.Round(float64(len(all))*cfg.CloudMetroFraction)))
+	g.AddAS(&AS{ASN: cfg.CloudASN, Kind: KindCloud, Metros: cloudMetros})
+
+	// Tier-1 backbones: global presence, full peer clique, peer with
+	// the cloud everywhere both are present.
+	tier1 := make([]bgp.ASN, cfg.NTier1)
+	for i := range tier1 {
+		asn := bgp.ASN(100 + i)
+		tier1[i] = asn
+		presence := sampleMetros(rng, all, len(all)*3/5)
+		g.AddAS(&AS{ASN: asn, Kind: KindTier1, Metros: presence, Weight: 1 + rng.Float64()})
+	}
+	for i, a := range tier1 {
+		for _, b := range tier1[i+1:] {
+			g.Connect(a, b, bgp.RelPeer, commonOrNearest(metros, g, a, b, rng))
+		}
+		g.Connect(a, cfg.CloudASN, bgp.RelPeer, commonOrNearest(metros, g, a, cfg.CloudASN, rng))
+	}
+
+	// Tier-2 regional transit: clustered presence, 2-3 tier-1
+	// providers, regional tier-2 peering, often direct cloud peering.
+	tier2 := make([]bgp.ASN, cfg.NTier2)
+	for i := range tier2 {
+		asn := bgp.ASN(1000 + i)
+		tier2[i] = asn
+		home := all[rng.Intn(len(all))].ID
+		presence := nearestCluster(metros, home, 2+rng.Intn(7))
+		g.AddAS(&AS{ASN: asn, Kind: KindTier2, Metros: presence, Weight: 0.5 + rng.Float64()})
+		for _, p := range pickDistinct(rng, tier1, 2+rng.Intn(2)) {
+			g.Connect(asn, p, bgp.RelProvider, commonOrNearest(metros, g, asn, p, rng))
+		}
+		if rng.Float64() < cfg.Tier2DirectProb {
+			g.Connect(asn, cfg.CloudASN, bgp.RelPeer, commonOrNearest(metros, g, asn, cfg.CloudASN, rng))
+		}
+	}
+	// Regional tier-2 peer mesh: connect tier-2s whose presence overlaps.
+	for i, a := range tier2 {
+		for _, b := range tier2[i+1:] {
+			if len(commonMetros(g, a, b)) > 0 && rng.Float64() < 0.25 {
+				g.Connect(a, b, bgp.RelPeer, commonMetros(g, a, b))
+			}
+		}
+	}
+
+	// CDNs: wide presence fragmented into continental islands without
+	// a connecting backbone; direct cloud peering plus island-local
+	// transit from tier-1s/tier-2s.
+	cdn := make([]bgp.ASN, cfg.NCDN)
+	for i := range cdn {
+		asn := bgp.ASN(5000 + i)
+		cdn[i] = asn
+		presence := sampleMetros(rng, all, 12+rng.Intn(18))
+		a := &AS{ASN: asn, Kind: KindCDN, Metros: presence, Weight: 2 + 3*rng.Float64()}
+		a.Islands = splitIslands(metros, presence, 2+rng.Intn(3), rng)
+		g.AddAS(a)
+		g.Connect(asn, cfg.CloudASN, bgp.RelPeer, commonOrNearest(metros, g, asn, cfg.CloudASN, rng))
+		for _, p := range pickDistinct(rng, tier1, 1+rng.Intn(2)) {
+			g.Connect(asn, p, bgp.RelProvider, commonOrNearest(metros, g, asn, p, rng))
+		}
+	}
+
+	// Access / eyeball networks: local presence, tier-2 (sometimes
+	// tier-1) transit, frequent direct cloud peering.
+	access := make([]bgp.ASN, cfg.NAccess)
+	for i := range access {
+		asn := bgp.ASN(10000 + i)
+		access[i] = asn
+		home := all[rng.Intn(len(all))].ID
+		presence := nearestCluster(metros, home, 1+rng.Intn(4))
+		g.AddAS(&AS{ASN: asn, Kind: KindAccess, Metros: presence, Weight: 0.8 + 2*rng.Float64()})
+		nprov := 1 + rng.Intn(3)
+		for _, p := range pickDistinct(rng, tier2, nprov) {
+			g.Connect(asn, p, bgp.RelProvider, commonOrNearest(metros, g, asn, p, rng))
+		}
+		if rng.Float64() < 0.15 {
+			p := tier1[rng.Intn(len(tier1))]
+			if !g.HasEdge(asn, p) {
+				g.Connect(asn, p, bgp.RelProvider, commonOrNearest(metros, g, asn, p, rng))
+			}
+		}
+		if rng.Float64() < cfg.AccessDirectProb {
+			g.Connect(asn, cfg.CloudASN, bgp.RelPeer, commonOrNearest(metros, g, asn, cfg.CloudASN, rng))
+		}
+	}
+
+	// Enterprise stubs: single metro, access/tier-2 transit, rare
+	// direct peering (e.g. large enterprises with private peering).
+	for i := 0; i < cfg.NEnterprise; i++ {
+		asn := bgp.ASN(100000 + i)
+		home := all[rng.Intn(len(all))].ID
+		g.AddAS(&AS{ASN: asn, Kind: KindEnterprise, Metros: []geo.MetroID{home},
+			Weight: 0.2 + 1.5*rng.Float64()})
+		var pool []bgp.ASN
+		if rng.Float64() < 0.6 {
+			pool = access
+		} else {
+			pool = tier2
+		}
+		for _, p := range pickDistinct(rng, pool, 1+rng.Intn(2)) {
+			g.Connect(asn, p, bgp.RelProvider, commonOrNearest(metros, g, asn, p, rng))
+		}
+		if rng.Float64() < cfg.EnterpriseDirectProb {
+			g.Connect(asn, cfg.CloudASN, bgp.RelPeer, commonOrNearest(metros, g, asn, cfg.CloudASN, rng))
+		}
+	}
+
+	return g
+}
+
+// sampleMetros picks n distinct metros uniformly, returned ascending.
+func sampleMetros(rng *rand.Rand, all []geo.Metro, n int) []geo.MetroID {
+	if n > len(all) {
+		n = len(all)
+	}
+	perm := rng.Perm(len(all))
+	out := make([]geo.MetroID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[perm[i]].ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// nearestCluster returns home plus its n-1 nearest metros, ascending.
+func nearestCluster(metros *geo.DB, home geo.MetroID, n int) []geo.MetroID {
+	all := metros.All()
+	cands := make([]geo.MetroID, 0, len(all))
+	for _, m := range all {
+		if m.ID != home {
+			cands = append(cands, m.ID)
+		}
+	}
+	ranked := metros.RankByDistance(home, cands)
+	out := append([]geo.MetroID{home}, ranked[:min(n-1, len(ranked))]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// commonMetros returns the metros where both ASes are present.
+func commonMetros(g *Graph, a, b bgp.ASN) []geo.MetroID {
+	asA, _ := g.AS(a)
+	asB, _ := g.AS(b)
+	inB := make(map[geo.MetroID]bool, len(asB.Metros))
+	for _, m := range asB.Metros {
+		inB[m] = true
+	}
+	var out []geo.MetroID
+	for _, m := range asA.Metros {
+		if inB[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// commonOrNearest returns the interconnection metros for an edge: a
+// subsample of the common presence if any, otherwise the single metro
+// of b nearest to a's presence (a remote interconnect). Subsampling
+// reflects reality — two networks present in the same thirty cities
+// interconnect in a handful of them — and it is what makes traffic
+// from direct peers sometimes arrive over third-party links: an AS
+// far from any of its own interconnects hands off to transit instead.
+func commonOrNearest(metros *geo.DB, g *Graph, a, b bgp.ASN, rng *rand.Rand) []geo.MetroID {
+	if c := commonMetros(g, a, b); len(c) > 0 {
+		kept := c[:0]
+		for _, m := range c {
+			if rng.Float64() < 0.6 {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, c[rng.Intn(len(c))])
+		}
+		return kept
+	}
+	asA, _ := g.AS(a)
+	asB, _ := g.AS(b)
+	if len(asA.Metros) == 0 || len(asB.Metros) == 0 {
+		return nil
+	}
+	origin := asA.Metros[rng.Intn(len(asA.Metros))]
+	return []geo.MetroID{metros.Nearest(origin, asB.Metros)}
+}
+
+// splitIslands partitions presence into k geographic islands by
+// clustering around k randomly chosen anchors.
+func splitIslands(metros *geo.DB, presence []geo.MetroID, k int, rng *rand.Rand) [][]geo.MetroID {
+	if k > len(presence) {
+		k = len(presence)
+	}
+	anchors := make([]geo.MetroID, k)
+	perm := rng.Perm(len(presence))
+	for i := 0; i < k; i++ {
+		anchors[i] = presence[perm[i]]
+	}
+	islands := make([][]geo.MetroID, k)
+	for _, m := range presence {
+		best, bestD := 0, math.Inf(1)
+		for i, a := range anchors {
+			if d := metros.Distance(m, a); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		islands[best] = append(islands[best], m)
+	}
+	out := islands[:0]
+	for _, isl := range islands {
+		if len(isl) > 0 {
+			out = append(out, isl)
+		}
+	}
+	return out
+}
+
+// pickDistinct picks up to n distinct elements from pool.
+func pickDistinct(rng *rand.Rand, pool []bgp.ASN, n int) []bgp.ASN {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]bgp.ASN, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

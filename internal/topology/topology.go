@@ -1,0 +1,315 @@
+// Package topology models the AS-level Internet that traffic crosses
+// before it ingresses the WAN: autonomous systems with geographic
+// presence, Gao-Rexford business relationships (customer / peer /
+// provider), and valley-free reachability analysis.
+//
+// The real AS topology is only partially observable (§2 of the paper:
+// "lack of visibility"); this package generates a synthetic Internet
+// with the structural properties the paper leans on — a flat core
+// where most bytes originate one AS hop from the cloud, dense tier-1
+// interconnection, regional tier-2 transit, eyeball/access networks,
+// CDNs with isolated geographic islands that lack a global backbone,
+// and a long tail of enterprise stubs.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/geo"
+)
+
+// Kind classifies an AS by its role in the Internet hierarchy.
+type Kind uint8
+
+const (
+	// KindCloud is the WAN under study (exactly one per graph).
+	KindCloud Kind = iota
+	// KindTier1 is a transit-free backbone network.
+	KindTier1
+	// KindTier2 is a regional transit provider.
+	KindTier2
+	// KindAccess is an eyeball / access network.
+	KindAccess
+	// KindCDN is a content network with fragmented geographic islands.
+	KindCDN
+	// KindEnterprise is a stub enterprise network.
+	KindEnterprise
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCloud:
+		return "cloud"
+	case KindTier1:
+		return "tier1"
+	case KindTier2:
+		return "tier2"
+	case KindAccess:
+		return "access"
+	case KindCDN:
+		return "cdn"
+	case KindEnterprise:
+		return "enterprise"
+	}
+	return "unknown"
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN    bgp.ASN
+	Kind   Kind
+	Metros []geo.MetroID // geographic presence, ascending
+	// Islands partitions Metros into backbone-connected groups. For
+	// most ASes there is a single island. CDNs get several: the paper
+	// observes that large CDNs have isolated pockets that can only
+	// reach the WAN through public transit because they lack a global
+	// backbone.
+	Islands [][]geo.MetroID
+	// Weight scales how much traffic the AS originates.
+	Weight float64
+}
+
+// Island returns the index of the island containing metro, or -1.
+func (a *AS) Island(metro geo.MetroID) int {
+	for i, isl := range a.Islands {
+		for _, m := range isl {
+			if m == metro {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Edge is a relationship between two ASes as seen from one side.
+type Edge struct {
+	// Neighbor is the AS on the far side.
+	Neighbor bgp.ASN
+	// Rel is what the neighbor is to the local AS: routes learned
+	// from the neighbor carry this relationship class.
+	Rel bgp.Relationship
+	// Metros lists the interconnection metros, ascending.
+	Metros []geo.MetroID
+}
+
+// Graph is an AS-level topology. Construct with New or Generate.
+type Graph struct {
+	cloud bgp.ASN
+	ases  map[bgp.ASN]*AS
+	edges map[bgp.ASN][]Edge
+	order []bgp.ASN // deterministic iteration order
+}
+
+// New creates an empty graph whose WAN under study is cloud.
+func New(cloud bgp.ASN) *Graph {
+	return &Graph{
+		cloud: cloud,
+		ases:  make(map[bgp.ASN]*AS),
+		edges: make(map[bgp.ASN][]Edge),
+	}
+}
+
+// Cloud returns the ASN of the WAN under study.
+func (g *Graph) Cloud() bgp.ASN { return g.cloud }
+
+// AddAS inserts an AS. It panics on duplicates: graph construction is
+// programmatic and a duplicate is a bug, not an input error.
+func (g *Graph) AddAS(a *AS) {
+	if _, dup := g.ases[a.ASN]; dup {
+		panic(fmt.Sprintf("topology: duplicate %v", a.ASN))
+	}
+	if len(a.Islands) == 0 && len(a.Metros) > 0 {
+		a.Islands = [][]geo.MetroID{a.Metros}
+	}
+	g.ases[a.ASN] = a
+	g.order = append(g.order, a.ASN)
+}
+
+// AS returns the AS with the given ASN.
+func (g *Graph) AS(asn bgp.ASN) (*AS, bool) {
+	a, ok := g.ases[asn]
+	return a, ok
+}
+
+// Len reports the number of ASes, including the cloud.
+func (g *Graph) Len() int { return len(g.ases) }
+
+// ASNs returns every ASN in insertion order. Callers must not modify
+// the returned slice.
+func (g *Graph) ASNs() []bgp.ASN { return g.order }
+
+// Connect records a relationship between a and b interconnecting at
+// the given metros. rel is what b is to a (e.g. RelProvider means b
+// provides transit to a); the reverse edge is derived automatically.
+func (g *Graph) Connect(a, b bgp.ASN, rel bgp.Relationship, metros []geo.MetroID) {
+	if _, ok := g.ases[a]; !ok {
+		panic(fmt.Sprintf("topology: connect unknown %v", a))
+	}
+	if _, ok := g.ases[b]; !ok {
+		panic(fmt.Sprintf("topology: connect unknown %v", b))
+	}
+	ms := append([]geo.MetroID(nil), metros...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	g.edges[a] = append(g.edges[a], Edge{Neighbor: b, Rel: rel, Metros: ms})
+	g.edges[b] = append(g.edges[b], Edge{Neighbor: a, Rel: reverse(rel), Metros: ms})
+}
+
+func reverse(rel bgp.Relationship) bgp.Relationship {
+	switch rel {
+	case bgp.RelProvider:
+		return bgp.RelCustomer
+	case bgp.RelCustomer:
+		return bgp.RelProvider
+	default:
+		return rel
+	}
+}
+
+// Edges returns the relationships of asn. Callers must not modify the
+// returned slice.
+func (g *Graph) Edges(asn bgp.ASN) []Edge { return g.edges[asn] }
+
+// Edge returns the edge from a to b, if any.
+func (g *Graph) Edge(a, b bgp.ASN) (Edge, bool) {
+	for _, e := range g.edges[a] {
+		if e.Neighbor == b {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Providers returns the ASNs providing transit to asn.
+func (g *Graph) Providers(asn bgp.ASN) []bgp.ASN { return g.neighborsByRel(asn, bgp.RelProvider) }
+
+// Customers returns the transit customers of asn.
+func (g *Graph) Customers(asn bgp.ASN) []bgp.ASN { return g.neighborsByRel(asn, bgp.RelCustomer) }
+
+// Peers returns the settlement-free peers of asn.
+func (g *Graph) Peers(asn bgp.ASN) []bgp.ASN { return g.neighborsByRel(asn, bgp.RelPeer) }
+
+func (g *Graph) neighborsByRel(asn bgp.ASN, rel bgp.Relationship) []bgp.ASN {
+	var out []bgp.ASN
+	for _, e := range g.edges[asn] {
+		if e.Rel == rel {
+			out = append(out, e.Neighbor)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether a and b are directly connected.
+func (g *Graph) HasEdge(a, b bgp.ASN) bool {
+	_, ok := g.Edge(a, b)
+	return ok
+}
+
+// DistancesToCloud computes, for every AS, the minimum AS-hop distance
+// of a valley-free path along which the cloud's BGP advertisements can
+// actually have propagated to that AS.
+//
+// The cloud peers with (never buys transit from) its neighbors, so its
+// routes propagate from each direct neighbor strictly down that
+// neighbor's customer cone (peer- and provider-learned routes are only
+// exported to customers). The forwarding path from a source is
+// therefore an uphill provider chain ending at a direct neighbor:
+// distance(direct neighbor) = 1, and distance(X) = 1 + min over
+// providers of X. The result map does not contain the cloud itself.
+// ASes with no valley-free path to the cloud are absent.
+func (g *Graph) DistancesToCloud() map[bgp.ASN]int {
+	dist := make(map[bgp.ASN]int, len(g.ases))
+	var frontier []bgp.ASN
+	for _, e := range g.edges[g.cloud] {
+		dist[e.Neighbor] = 1
+		frontier = append(frontier, e.Neighbor)
+	}
+	// BFS down customer cones: a provider at distance d makes each of
+	// its customers reachable at d+1.
+	for len(frontier) > 0 {
+		var next []bgp.ASN
+		for _, p := range frontier {
+			d := dist[p]
+			for _, e := range g.edges[p] {
+				if e.Rel != bgp.RelCustomer {
+					continue // only descend provider->customer edges
+				}
+				if _, seen := dist[e.Neighbor]; !seen {
+					dist[e.Neighbor] = d + 1
+					next = append(next, e.Neighbor)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// NextHopsToCloud returns, for the given AS, the neighbor ASes it can
+// legitimately forward cloud-bound traffic to along a shortest
+// valley-free path: the cloud itself if directly connected, otherwise
+// every provider whose distance is exactly one less. dist must come
+// from DistancesToCloud.
+func (g *Graph) NextHopsToCloud(asn bgp.ASN, dist map[bgp.ASN]int) []bgp.ASN {
+	d, ok := dist[asn]
+	if !ok {
+		return nil
+	}
+	if d == 1 {
+		return []bgp.ASN{g.cloud}
+	}
+	var out []bgp.ASN
+	for _, e := range g.edges[asn] {
+		if e.Rel != bgp.RelProvider {
+			continue
+		}
+		if pd, ok := dist[e.Neighbor]; ok && pd == d-1 {
+			out = append(out, e.Neighbor)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: edge symmetry, relationship
+// consistency, island partitioning, and that every non-cloud AS can
+// reach the cloud. It returns the first problem found.
+func (g *Graph) Validate() error {
+	for asn, edges := range g.edges {
+		seen := map[bgp.ASN]bool{}
+		for _, e := range edges {
+			if seen[e.Neighbor] {
+				return fmt.Errorf("duplicate edge %v-%v", asn, e.Neighbor)
+			}
+			seen[e.Neighbor] = true
+			back, ok := g.Edge(e.Neighbor, asn)
+			if !ok {
+				return fmt.Errorf("asymmetric edge %v-%v", asn, e.Neighbor)
+			}
+			if back.Rel != reverse(e.Rel) {
+				return fmt.Errorf("inconsistent relationship %v-%v: %v vs %v",
+					asn, e.Neighbor, e.Rel, back.Rel)
+			}
+		}
+	}
+	for asn, a := range g.ases {
+		n := 0
+		for _, isl := range a.Islands {
+			n += len(isl)
+		}
+		if n != len(a.Metros) {
+			return fmt.Errorf("%v: islands cover %d metros, presence has %d", asn, n, len(a.Metros))
+		}
+	}
+	dist := g.DistancesToCloud()
+	for asn := range g.ases {
+		if asn == g.cloud {
+			continue
+		}
+		if _, ok := dist[asn]; !ok {
+			return fmt.Errorf("%v cannot reach the cloud valley-free", asn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+// Package traffic generates the ingress traffic workload: flow
+// aggregates from sources across the synthetic Internet toward
+// destinations inside the WAN, with heavy-tailed volumes, diurnal and
+// weekly modulation, and the enterprise long-lived-flow character the
+// paper motivates (IPSec/VPN tunnels, video conferencing, storage and
+// AI/ML pipelines that cannot be absorbed by CDN caches).
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/geo"
+	"tipsy/internal/topology"
+	"tipsy/internal/wan"
+)
+
+// CloudAddrBase is the first octet of the WAN's address space; every
+// destination address lies inside CloudAddrBase/8.
+const CloudAddrBase = 40
+
+// SourceAddrBase is the start of the address pool /24 source prefixes
+// are minted from.
+const SourceAddrBase = 0x0b000000
+
+// Config parameterizes workload generation.
+type Config struct {
+	Seed int64
+	// NFlows is the number of flow aggregates to generate.
+	NFlows int
+	// NAnycastPrefixes is how many anycast prefixes the WAN announces;
+	// destinations hash into them.
+	NAnycastPrefixes int
+	// AnycastPrefixLen is the announced prefix length (the paper's
+	// incidents involve /10 and /24 announcements; the default
+	// workload uses /16s).
+	AnycastPrefixLen uint8
+	// NServiceTypes is the cardinality of the destination-type feature.
+	NServiceTypes int
+	// ParetoAlpha shapes the flow volume distribution (smaller =
+	// heavier tail).
+	ParetoAlpha float64
+	// MinFlowBps is the volume floor.
+	MinFlowBps float64
+	// MaxFlowBps caps single-aggregate volume.
+	MaxFlowBps float64
+	// LongLivedFraction is the share of aggregates that are always-on
+	// enterprise flows; the rest duty-cycle on and off.
+	LongLivedFraction float64
+}
+
+// DefaultConfig returns the workload used by the experiment harness.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		NFlows:            30000,
+		NAnycastPrefixes:  48,
+		AnycastPrefixLen:  16,
+		NServiceTypes:     24,
+		ParetoAlpha:       1.15,
+		MinFlowBps:        8e7,  // 80 Mbps — aggregates, not single TCP flows
+		MaxFlowBps:        4e10, // 40 Gbps per aggregate
+		LongLivedFraction: 0.55,
+	}
+}
+
+// TestConfig returns a small workload for unit tests.
+func TestConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.NFlows = 1200
+	cfg.NAnycastPrefixes = 8
+	cfg.NServiceTypes = 6
+	// The test topology has far fewer, smaller links; keep aggregate
+	// volumes proportionate.
+	cfg.MinFlowBps = 2e7
+	cfg.MaxFlowBps = 5e9
+	return cfg
+}
+
+// FlowSpec is one flow aggregate: the unit TIPSY predicts over, at
+// the granularity of source /24 prefix and destination prefix.
+type FlowSpec struct {
+	ID        int
+	SrcAS     bgp.ASN
+	SrcPrefix uint32 // /24 network base address
+	SrcAddr   uint32 // representative host inside the /24
+	SrcMetro  geo.MetroID
+	DstRegion wan.Region
+	DstType   wan.ServiceType
+	DstAddr   uint32
+	// BaseBps is the aggregate's base volume in bits per second.
+	BaseBps float64
+	// AvgPacketBytes sets the byte/packet ratio for sampling.
+	AvgPacketBytes float64
+	// LongLived marks always-on enterprise aggregates.
+	LongLived bool
+}
+
+// Workload is the generated traffic description plus the WAN's
+// announced anycast prefixes.
+type Workload struct {
+	Flows    []FlowSpec
+	Anycast  []bgp.Prefix
+	Regions  []wan.Region
+	NumTypes int
+}
+
+// DstPrefix returns the announced anycast prefix containing the
+// flow's destination.
+func (w *Workload) DstPrefix(f *FlowSpec) bgp.Prefix {
+	for _, p := range w.Anycast {
+		if p.Contains(f.DstAddr) {
+			return p
+		}
+	}
+	return bgp.Prefix{}
+}
+
+// Generate builds a workload over the given topology. Source ASes are
+// drawn weighted by kind and size so that — matching Figure 2 of the
+// paper — the bulk of bytes comes from ASes that peer directly with
+// the cloud (the flat-Internet effect), with a long tail from deeper
+// in the hierarchy.
+func Generate(cfg Config, g *topology.Graph, metros *geo.DB) *Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{NumTypes: cfg.NServiceTypes}
+
+	// Announced anycast prefixes: consecutive blocks of the cloud /8.
+	step := uint32(1) << (32 - cfg.AnycastPrefixLen)
+	for i := 0; i < cfg.NAnycastPrefixes; i++ {
+		w.Anycast = append(w.Anycast,
+			bgp.MakePrefix(uint32(CloudAddrBase)<<24+uint32(i)*step, cfg.AnycastPrefixLen))
+	}
+
+	// WAN regions: the metros where the cloud is present.
+	cloudAS, _ := g.AS(g.Cloud())
+	w.Regions = append([]wan.Region(nil), cloudAS.Metros...)
+
+	// Build the source-AS sampling distribution.
+	type srcAS struct {
+		as     *topology.AS
+		weight float64
+	}
+	var sources []srcAS
+	var totalW float64
+	for _, asn := range g.ASNs() {
+		a, _ := g.AS(asn)
+		if a.Kind == topology.KindCloud {
+			continue
+		}
+		wgt := a.Weight * kindVolumeFactor(a.Kind)
+		// Direct cloud peers originate disproportionate ingress
+		// volume: big eyeballs and enterprises peer directly.
+		if g.HasEdge(asn, g.Cloud()) {
+			wgt *= 3.0
+		}
+		sources = append(sources, srcAS{a, wgt})
+		totalW += wgt
+	}
+	cum := make([]float64, len(sources))
+	acc := 0.0
+	for i, s := range sources {
+		acc += s.weight
+		cum[i] = acc
+	}
+	pickSource := func() *topology.AS {
+		x := rng.Float64() * totalW
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return sources[lo].as
+	}
+
+	// Per-AS /24 pools, allocated lazily and deterministically. Each
+	// /24 is bound to one metro at mint time, preserving the paper's
+	// Table 1 invariant that there is exactly one source location per
+	// /24 prefix.
+	type prefix24 struct {
+		base  uint32
+		metro geo.MetroID
+	}
+	nextChunk := uint32(0)
+	pools := make(map[bgp.ASN][]prefix24)
+	pool := func(a *topology.AS) []prefix24 {
+		if p, ok := pools[a.ASN]; ok {
+			return p
+		}
+		n := 2 + int(a.Weight*3) + len(a.Metros)
+		p := make([]prefix24, n)
+		for i := range p {
+			p[i] = prefix24{
+				base:  SourceAddrBase + nextChunk*256,
+				metro: a.Metros[rng.Intn(len(a.Metros))],
+			}
+			nextChunk++
+		}
+		pools[a.ASN] = p
+		return p
+	}
+
+	// Per-AS destination affinity: an organization's many sites and
+	// prefixes overwhelmingly talk to the same few cloud services in
+	// the same few regions. This is what gives the coarser feature
+	// sets real aggregates to merge (the paper's A tuples are ~45x
+	// fewer than AP tuples, Table 1).
+	type dst struct {
+		region wan.Region
+		svc    wan.ServiceType
+	}
+	menus := make(map[bgp.ASN][]dst)
+	menu := func(a *topology.AS) []dst {
+		if m, ok := menus[a.ASN]; ok {
+			return m
+		}
+		n := 1 + rng.Intn(3)
+		m := make([]dst, n)
+		for i := range m {
+			m[i] = dst{
+				region: w.Regions[rng.Intn(len(w.Regions))],
+				svc:    wan.ServiceType(1 + rng.Intn(cfg.NServiceTypes)),
+			}
+		}
+		menus[a.ASN] = m
+		return m
+	}
+
+	w.Flows = make([]FlowSpec, 0, cfg.NFlows)
+	for i := 0; i < cfg.NFlows; i++ {
+		src := pickSource()
+		pe := pool(src)[rng.Intn(len(pool(src)))]
+		prefix, metro := pe.base, pe.metro
+		var region wan.Region
+		var svc wan.ServiceType
+		if rng.Float64() < 0.9 {
+			d := menu(src)[rng.Intn(len(menu(src)))]
+			region, svc = d.region, d.svc
+		} else {
+			// A minority of traffic goes to arbitrary services.
+			region = w.Regions[rng.Intn(len(w.Regions))]
+			svc = wan.ServiceType(1 + rng.Intn(cfg.NServiceTypes))
+		}
+
+		// Destination address: the (region, type) pair hashes to a
+		// small set of anycast prefixes, so withdrawing one prefix
+		// shifts a coherent service's traffic. The host part is the
+		// flow ID, keeping destination addresses collision-free so
+		// the metadata join is unambiguous (requires NFlows < 2^(32 -
+		// AnycastPrefixLen)).
+		pi := int(mix(uint64(region)<<32|uint64(svc)*2654435761+uint64(i%3))) % len(w.Anycast)
+		if pi < 0 {
+			pi = -pi
+		}
+		dstBase := w.Anycast[pi]
+		dst := dstBase.Addr | uint32(i)&(step-1)
+
+		vol := paretoBps(rng, cfg)
+		w.Flows = append(w.Flows, FlowSpec{
+			ID:             i,
+			SrcAS:          src.ASN,
+			SrcPrefix:      prefix,
+			SrcAddr:        prefix + uint32(1+rng.Intn(250)),
+			SrcMetro:       metro,
+			DstRegion:      region,
+			DstType:        svc,
+			DstAddr:        uint32(dst),
+			BaseBps:        vol,
+			AvgPacketBytes: 700 + 700*rng.Float64(),
+			LongLived:      rng.Float64() < cfg.LongLivedFraction,
+		})
+	}
+	return w
+}
+
+func kindVolumeFactor(k topology.Kind) float64 {
+	switch k {
+	case topology.KindTier1:
+		return 0.6 // transit backbones originate little themselves
+	case topology.KindTier2:
+		return 0.8
+	case topology.KindAccess:
+		return 2.0 // eyeball uploads, consumer-hosted enterprise
+	case topology.KindCDN:
+		return 2.5 // log/origin-fill style ingress
+	case topology.KindEnterprise:
+		return 1.6 // VPN tunnels, storage, AI/ML pipelines
+	}
+	return 1
+}
+
+func paretoBps(rng *rand.Rand, cfg Config) float64 {
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := cfg.MinFlowBps * math.Pow(u, -1/cfg.ParetoAlpha)
+	if v > cfg.MaxFlowBps {
+		v = cfg.MaxFlowBps
+	}
+	return v
+}
+
+// mix is SplitMix64, used for deterministic per-flow hashing.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash exposes the deterministic mixer for other packages that need
+// flow-keyed pseudo-randomness (e.g. the simulator's tie-breaking).
+func Hash(x uint64) uint64 { return mix(x) }
+
+// tzOffsetHours approximates a metro's UTC offset from its longitude.
+func tzOffsetHours(lon float64) int { return int(math.Round(lon / 15)) }
+
+// VolumeAt returns the aggregate's volume in bytes for the given
+// simulated hour: base rate modulated by the source metro's local
+// diurnal cycle, a weekly pattern, deterministic jitter, and — for
+// short-lived aggregates — an on/off duty cycle.
+func VolumeAt(f *FlowSpec, metros *geo.DB, h wan.Hour) (bytes float64, packets float64) {
+	m, ok := metros.Metro(f.SrcMetro)
+	if !ok {
+		return 0, 0
+	}
+	localHour := (h.HourOfDay() + tzOffsetHours(m.Lon) + 48) % 24
+	// Diurnal: peak at 14:00 local, trough at 02:00.
+	diurnal := 0.65 + 0.35*math.Sin(2*math.Pi*float64(localHour-8)/24)
+	// Weekly: enterprise traffic dips on weekends.
+	weekly := 1.0
+	if dow := h.DayOfWeek(); dow >= 5 {
+		weekly = 0.72
+	}
+	// Deterministic jitter in [0.85, 1.15].
+	j := mix(uint64(f.ID)*1000003 + uint64(h))
+	jitter := 0.85 + 0.30*float64(j%1000)/999
+
+	if !f.LongLived {
+		// Short-lived aggregates are active ~40% of hours.
+		if mix(uint64(f.ID)*31+uint64(h)*7)%100 >= 40 {
+			return 0, 0
+		}
+	}
+	bps := f.BaseBps * diurnal * weekly * jitter
+	bytes = bps * 3600 / 8
+	packets = bytes / f.AvgPacketBytes
+	if packets < 1 {
+		packets = 1
+	}
+	return bytes, packets
+}

@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"tipsy/internal/geo"
+	"tipsy/internal/topology"
+	"tipsy/internal/wan"
+)
+
+func testWorkload(t *testing.T, seed int64) (*Workload, *topology.Graph, *geo.DB) {
+	t.Helper()
+	metros := geo.World()
+	g := topology.Generate(topology.TestGenConfig(seed), metros)
+	w := Generate(TestConfig(seed), g, metros)
+	return w, g, metros
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, _ := testWorkload(t, 5)
+	b, _, _ := testWorkload(t, 5)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatal("flow counts differ")
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestFlowsWellFormed(t *testing.T) {
+	w, g, _ := testWorkload(t, 2)
+	cfg := TestConfig(2)
+	if len(w.Flows) != cfg.NFlows {
+		t.Fatalf("generated %d flows, want %d", len(w.Flows), cfg.NFlows)
+	}
+	regions := map[wan.Region]bool{}
+	for _, r := range w.Regions {
+		regions[r] = true
+	}
+	for _, f := range w.Flows {
+		src, ok := g.AS(f.SrcAS)
+		if !ok {
+			t.Fatalf("flow %d: unknown source %v", f.ID, f.SrcAS)
+		}
+		if src.Kind == topology.KindCloud {
+			t.Fatalf("flow %d originates at the cloud", f.ID)
+		}
+		if src.Island(f.SrcMetro) < 0 {
+			t.Errorf("flow %d: source metro %d not in AS presence", f.ID, f.SrcMetro)
+		}
+		if f.SrcPrefix&0xff != 0 {
+			t.Errorf("flow %d: source prefix %x not a /24 base", f.ID, f.SrcPrefix)
+		}
+		if f.SrcAddr&^uint32(0xff) != f.SrcPrefix {
+			t.Errorf("flow %d: source address outside its /24", f.ID)
+		}
+		if !regions[f.DstRegion] {
+			t.Errorf("flow %d: unknown destination region %d", f.ID, f.DstRegion)
+		}
+		if f.DstType == 0 || int(f.DstType) > cfg.NServiceTypes {
+			t.Errorf("flow %d: service type %d out of range", f.ID, f.DstType)
+		}
+		if f.DstAddr>>24 != CloudAddrBase {
+			t.Errorf("flow %d: destination %x outside the cloud /8", f.ID, f.DstAddr)
+		}
+		if p := w.DstPrefix(&f); p.Len == 0 {
+			t.Errorf("flow %d: destination not covered by any anycast prefix", f.ID)
+		}
+		if f.BaseBps < cfg.MinFlowBps || f.BaseBps > cfg.MaxFlowBps {
+			t.Errorf("flow %d: volume %.0f outside [%.0f, %.0f]", f.ID, f.BaseBps, cfg.MinFlowBps, cfg.MaxFlowBps)
+		}
+	}
+}
+
+func TestVolumeHeavyTailed(t *testing.T) {
+	w, _, _ := testWorkload(t, 3)
+	var total float64
+	vols := make([]float64, len(w.Flows))
+	for i, f := range w.Flows {
+		vols[i] = f.BaseBps
+		total += f.BaseBps
+	}
+	// Top 10% of flows should carry the majority of volume.
+	sortDesc(vols)
+	topShare := 0.0
+	for i := 0; i < len(vols)/10; i++ {
+		topShare += vols[i]
+	}
+	if topShare/total < 0.5 {
+		t.Errorf("top 10%% of flows carry only %.0f%% of volume; tail not heavy", 100*topShare/total)
+	}
+}
+
+func sortDesc(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestVolumeAtDiurnal(t *testing.T) {
+	w, _, metros := testWorkload(t, 4)
+	var f *FlowSpec
+	for i := range w.Flows {
+		if w.Flows[i].LongLived {
+			f = &w.Flows[i]
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("no long-lived flow in workload")
+	}
+	// Averaged over jitter, some hours must be clearly busier than
+	// others within one day.
+	minV, maxV := math.Inf(1), 0.0
+	for h := wan.Hour(0); h < 24; h++ {
+		var avg float64
+		for d := 0; d < 5; d++ { // weekdays only
+			b, _ := VolumeAt(f, metros, h+wan.Hour(24*d))
+			avg += b
+		}
+		avg /= 5
+		if avg < minV {
+			minV = avg
+		}
+		if avg > maxV {
+			maxV = avg
+		}
+	}
+	if maxV/minV < 1.3 {
+		t.Errorf("diurnal swing too flat: max/min = %.2f", maxV/minV)
+	}
+}
+
+func TestVolumeAtWeekend(t *testing.T) {
+	w, _, metros := testWorkload(t, 4)
+	var f *FlowSpec
+	for i := range w.Flows {
+		if w.Flows[i].LongLived {
+			f = &w.Flows[i]
+			break
+		}
+	}
+	var weekday, weekend float64
+	for h := 0; h < 24; h++ {
+		b1, _ := VolumeAt(f, metros, wan.Hour(h))      // day 0: Monday
+		b2, _ := VolumeAt(f, metros, wan.Hour(h+24*5)) // day 5: Saturday
+		weekday += b1
+		weekend += b2
+	}
+	if weekend >= weekday {
+		t.Errorf("weekend volume (%.0f) should be below weekday (%.0f)", weekend, weekday)
+	}
+}
+
+func TestVolumeDeterministic(t *testing.T) {
+	w, _, metros := testWorkload(t, 4)
+	f := &w.Flows[0]
+	b1, p1 := VolumeAt(f, metros, 100)
+	b2, p2 := VolumeAt(f, metros, 100)
+	if b1 != b2 || p1 != p2 {
+		t.Error("VolumeAt not deterministic")
+	}
+}
+
+func TestShortLivedDutyCycle(t *testing.T) {
+	w, _, metros := testWorkload(t, 6)
+	var f *FlowSpec
+	for i := range w.Flows {
+		if !w.Flows[i].LongLived {
+			f = &w.Flows[i]
+			break
+		}
+	}
+	if f == nil {
+		t.Skip("no short-lived flow")
+	}
+	active := 0
+	const hours = 500
+	for h := wan.Hour(0); h < hours; h++ {
+		if b, _ := VolumeAt(f, metros, h); b > 0 {
+			active++
+		}
+	}
+	if active == 0 || active == hours {
+		t.Errorf("short-lived flow active %d/%d hours; duty cycle broken", active, hours)
+	}
+}
+
+func TestDirectPeersCarryMostVolume(t *testing.T) {
+	// The flat-Internet property (Figure 2): the majority of bytes
+	// must originate in ASes that peer directly with the cloud.
+	w, g, _ := testWorkload(t, 8)
+	var direct, total float64
+	for _, f := range w.Flows {
+		total += f.BaseBps
+		if g.HasEdge(f.SrcAS, g.Cloud()) {
+			direct += f.BaseBps
+		}
+	}
+	if direct/total < 0.40 {
+		t.Errorf("direct peers carry %.0f%% of volume; want the flat-Internet majority", 100*direct/total)
+	}
+}
+
+func TestAnycastPrefixesDisjoint(t *testing.T) {
+	w, _, _ := testWorkload(t, 9)
+	for i, p := range w.Anycast {
+		for j, q := range w.Anycast {
+			if i != j && p.ContainsPrefix(q) {
+				t.Fatalf("anycast prefixes %s and %s overlap", p, q)
+			}
+		}
+	}
+}

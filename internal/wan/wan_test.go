@@ -1,0 +1,93 @@
+package wan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHourArithmetic(t *testing.T) {
+	cases := []struct {
+		h             Hour
+		day, hod, dow int
+	}{
+		{0, 0, 0, 0},
+		{23, 0, 23, 0},
+		{24, 1, 0, 1},
+		{24*7 + 5, 7, 5, 0}, // next Monday
+		{24*6 + 1, 6, 1, 6}, // Sunday
+	}
+	for _, c := range cases {
+		if c.h.Day() != c.day || c.h.HourOfDay() != c.hod || c.h.DayOfWeek() != c.dow {
+			t.Errorf("hour %d: got (%d,%d,%d), want (%d,%d,%d)",
+				c.h, c.h.Day(), c.h.HourOfDay(), c.h.DayOfWeek(), c.day, c.hod, c.dow)
+		}
+	}
+}
+
+func TestHourProperties(t *testing.T) {
+	f := func(raw uint16) bool {
+		h := Hour(raw)
+		return h.Day()*24+h.HourOfDay() == int(h) && h.DayOfWeek() == h.Day()%7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceTypeString(t *testing.T) {
+	if SvcStorage.String() != "storage" || SvcWeb.String() != "web" {
+		t.Error("named service types misnamed")
+	}
+	if ServiceType(200).String() != "svc200" {
+		t.Errorf("synthetic type renders %q", ServiceType(200).String())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	l := Link{Capacity: GbpsToBps(100)}
+	// 100G for a full hour = 45e12 bytes.
+	if got := l.Utilization(45e12, 3600); got < 0.999 || got > 1.001 {
+		t.Errorf("full-hour line rate utilization = %f", got)
+	}
+	if got := l.Utilization(45e12/2, 3600); got < 0.499 || got > 0.501 {
+		t.Errorf("half load = %f", got)
+	}
+	if (Link{}).Utilization(100, 3600) != 0 {
+		t.Error("zero-capacity link should report 0")
+	}
+	if l.Utilization(100, 0) != 0 {
+		t.Error("zero window should report 0")
+	}
+}
+
+func TestTableDirectory(t *testing.T) {
+	links := []Link{
+		{ID: 3, PeerAS: 10, Router: "c"},
+		{ID: 1, PeerAS: 10, Router: "a"},
+		{ID: 7, PeerAS: 20, Router: "b"},
+	}
+	tab := NewTable(links)
+	if got := tab.Links(); len(got) != 3 || got[0] != 1 || got[2] != 7 {
+		t.Errorf("Links() = %v", got)
+	}
+	l, ok := tab.Link(3)
+	if !ok || l.Router != "c" {
+		t.Errorf("Link(3) = %+v, %v", l, ok)
+	}
+	if _, ok := tab.Link(2); ok {
+		t.Error("Link(2) should miss")
+	}
+	if got := tab.LinksOfAS(10); len(got) != 2 {
+		t.Errorf("LinksOfAS(10) = %v", got)
+	}
+	if got := tab.LinksOfAS(99); got != nil {
+		t.Errorf("LinksOfAS(99) = %v", got)
+	}
+	var _ Directory = tab
+}
+
+func TestGbpsToBps(t *testing.T) {
+	if GbpsToBps(40) != 40e9 {
+		t.Error("conversion wrong")
+	}
+}
