@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,19 +25,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, selects the
+// experiments, and writes their tables to stdout, returning the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed  = flag.Int64("seed", 1, "simulation seed (the appendix D period uses seed+1000)")
-		scale = flag.String("scale", "small", "environment scale: small | full")
-		run   = flag.String("run", "all", "comma-separated experiment names, or 'all'")
-		list  = flag.Bool("list", false, "list experiment names and exit")
-		csvTo = flag.String("csv", "", "also write plot-ready CSV files to this directory")
+		seed  = fs.Int64("seed", 1, "simulation seed (the appendix D period uses seed+1000)")
+		scale = fs.String("scale", "small", "environment scale: small | full")
+		run   = fs.String("run", "all", "comma-separated experiment names, or 'all'")
+		list  = fs.Bool("list", false, "list experiment names and exit")
+		csvTo = fs.String("csv", "", "also write plot-ready CSV files to this directory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// csvErr reports a CSV write failure without aborting the run.
 	csvErr := func(err error) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			fmt.Fprintf(stderr, "csv: %v\n", err)
 		}
 	}
 	accCSV := func(name string, rows []eval.AccuracyRow) {
@@ -53,77 +65,77 @@ func main() {
 	experiments := []experiment{
 		{"table1", "feature cardinalities", func(e *eval.Env) {
 			c := eval.Table1(e)
-			fmt.Print(eval.FormatTable1(c))
+			fmt.Fprint(stdout, eval.FormatTable1(c))
 			if *csvTo != "" {
 				csvErr(eval.WriteTable1CSV(*csvTo, c))
 			}
 		}},
 		{"fig2", "CDF of bytes by source AS distance", func(e *eval.Env) {
 			pts := eval.Fig2(e, e.Train)
-			fmt.Print(eval.FormatFig2(pts))
+			fmt.Fprint(stdout, eval.FormatFig2(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig2CSV(*csvTo, pts))
 			}
 		}},
 		{"fig3", "link spread per source AS by distance", func(e *eval.Env) {
 			rows := eval.Fig3(e, e.Train)
-			fmt.Print(eval.FormatFig3(rows))
+			fmt.Fprint(stdout, eval.FormatFig3(rows))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig3CSV(*csvTo, rows))
 			}
 		}},
 		{"fig5", "oracle accuracy vs k", func(e *eval.Env) {
 			pts := eval.Fig5(e, nil)
-			fmt.Print(eval.FormatFig5(pts))
+			fmt.Fprint(stdout, eval.FormatFig5(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig5CSV(*csvTo, pts))
 			}
 		}},
 		{"fig6", "earliest outage per link over a year", func(*eval.Env) {
 			pts := eval.Fig6(1500, 1.6, *seed, 15)
-			fmt.Print(eval.FormatFig6(pts))
+			fmt.Fprint(stdout, eval.FormatFig6(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig6CSV(*csvTo, pts))
 			}
 		}},
 		{"fig7", "days since last outage", func(*eval.Env) {
 			pts := eval.Fig7(1500, 1.6, *seed, 15)
-			fmt.Print(eval.FormatFig7(pts))
+			fmt.Fprint(stdout, eval.FormatFig7(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig7CSV(*csvTo, pts))
 			}
 		}},
 		{"table4", "overall prediction accuracy", func(e *eval.Env) {
 			rows := eval.Table4(e)
-			fmt.Print(eval.FormatAccuracyTable("Table 4: overall prediction accuracy", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 4: overall prediction accuracy", rows))
 			accCSV("table4", rows)
 		}},
 		{"table5", "accuracy on all link outages", func(e *eval.Env) {
 			seen, unseen := eval.OutageBytesSplit(e)
-			fmt.Printf("outage-affected bytes: %.1f%% unseen in training\n",
+			fmt.Fprintf(stdout, "outage-affected bytes: %.1f%% unseen in training\n",
 				100*unseen/(seen+unseen+1e-12))
 			rows := eval.TableOutages(e, eval.AllOutages)
-			fmt.Print(eval.FormatAccuracyTable("Table 5: prediction accuracy, all link outages", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 5: prediction accuracy, all link outages", rows))
 			accCSV("table5", rows)
 		}},
 		{"table6", "accuracy on seen outages", func(e *eval.Env) {
 			rows := eval.TableOutages(e, eval.SeenOutages)
-			fmt.Print(eval.FormatAccuracyTable("Table 6: prediction accuracy, seen outages", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 6: prediction accuracy, seen outages", rows))
 			accCSV("table6", rows)
 		}},
 		{"table7", "accuracy on unseen outages", func(e *eval.Env) {
 			rows := eval.TableOutages(e, eval.UnseenOutages)
-			fmt.Print(eval.FormatAccuracyTable("Table 7: prediction accuracy, unseen outages", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 7: prediction accuracy, unseen outages", rows))
 			accCSV("table7", rows)
 		}},
 		{"table9", "overall accuracy incl. Naive Bayes (App. A)", func(e *eval.Env) {
 			rows := eval.Table9(e)
-			fmt.Print(eval.FormatAccuracyTable("Table 9: overall accuracy with Naive Bayes", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 9: overall accuracy with Naive Bayes", rows))
 			accCSV("table9", rows)
 		}},
 		{"table10", "outage accuracy incl. Naive Bayes (App. A)", func(e *eval.Env) {
 			rows := eval.Table10(e)
-			fmt.Print(eval.FormatAccuracyTable("Table 10: outage accuracy with Naive Bayes", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 10: outage accuracy with Naive Bayes", rows))
 			accCSV("table10", rows)
 		}},
 		{"fig9", "accuracy vs training window length (App. B)", func(e *eval.Env) {
@@ -132,7 +144,7 @@ func main() {
 				lengths, periods, testDays = []int{3, 7, 14, 21, 28}, 4, 7
 			}
 			pts := eval.Fig9(e, lengths, periods, testDays)
-			fmt.Print(eval.FormatFig9(pts))
+			fmt.Fprint(stdout, eval.FormatFig9(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig9CSV(*csvTo, pts))
 			}
@@ -143,7 +155,7 @@ func main() {
 				days = 14
 			}
 			pts := eval.Fig10(e, days)
-			fmt.Print(eval.FormatFig10(pts))
+			fmt.Fprint(stdout, eval.FormatFig10(pts))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig10CSV(*csvTo, pts))
 			}
@@ -154,38 +166,38 @@ func main() {
 				windows = 28
 			}
 			stats := eval.Fig11(e, windows)
-			fmt.Print(eval.FormatFig11(stats))
+			fmt.Fprint(stdout, eval.FormatFig11(stats))
 			if *csvTo != "" {
 				csvErr(eval.WriteFig11CSV(*csvTo, stats))
 			}
 		}},
 		{"table12", "links at risk of overload (App. C)", func(e *eval.Env) {
 			rows := risk.AtRisk(e.Sim, e.Hist(features.SetAL), e.Test, risk.DefaultOptions())
-			fmt.Print(risk.Format(rows, e.Sim, 8))
+			fmt.Fprint(stdout, risk.Format(rows, e.Sim, 8))
 		}},
 		{"table13", "overall accuracy, second period (App. D)", func(*eval.Env) {
 			rows := eval.Table4(secondEnv(*scale, *seed))
-			fmt.Print(eval.FormatAccuracyTable("Table 13: overall accuracy (second period)", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 13: overall accuracy (second period)", rows))
 			accCSV("table13", rows)
 		}},
 		{"table14", "outage accuracy, second period (App. D)", func(*eval.Env) {
 			rows := eval.TableOutages(secondEnv(*scale, *seed), eval.AllOutages)
-			fmt.Print(eval.FormatAccuracyTable("Table 14: outage accuracy (second period)", rows))
+			fmt.Fprint(stdout, eval.FormatAccuracyTable("Table 14: outage accuracy (second period)", rows))
 			accCSV("table14", rows)
 		}},
 		{"table15", "links at risk, second period (App. D)", func(*eval.Env) {
 			e2 := secondEnv(*scale, *seed)
 			rows := risk.AtRisk(e2.Sim, e2.Hist(features.SetAL), e2.Test, risk.DefaultOptions())
 			out := risk.Format(rows, e2.Sim, 8)
-			fmt.Print(strings.Replace(out, "Table 12", "Table 15", 1))
+			fmt.Fprint(stdout, strings.Replace(out, "Table 12", "Table 15", 1))
 		}},
 	}
 
 	if *list {
 		for _, ex := range experiments {
-			fmt.Printf("%-10s %s\n", ex.name, ex.desc)
+			fmt.Fprintf(stdout, "%-10s %s\n", ex.name, ex.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -206,8 +218,8 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
+			return 2
 		}
 	}
 
@@ -221,7 +233,7 @@ func main() {
 	if needEnv {
 		start := time.Now()
 		env = buildEnv(*scale, *seed)
-		fmt.Printf("environment: %d ASes, %d links, %d flows, train %dd test %dd, built in %v\n\n",
+		fmt.Fprintf(stdout, "environment: %d ASes, %d links, %d flows, train %dd test %dd, built in %v\n\n",
 			env.Graph.Len(), env.Sim.NumLinks(), len(env.Workload.Flows),
 			env.Cfg.TrainDays, env.Cfg.TestDays, time.Since(start).Round(time.Millisecond))
 	}
@@ -231,8 +243,9 @@ func main() {
 		}
 		start := time.Now()
 		ex.fn(env)
-		fmt.Printf("[%s done in %v]\n\n", ex.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s done in %v]\n\n", ex.name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 var (

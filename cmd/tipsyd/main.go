@@ -64,10 +64,21 @@ func main() {
 	log.Printf("bootstrapping: simulating %d days of telemetry", *trainDays)
 	s := buildServer(*seed, *trainDays)
 
+	// The retrain loop owns a stoppable ticker so tests (and a future
+	// graceful-shutdown path) can halt it by closing stop.
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
-		for range time.Tick(*dayEvery) {
-			s.advanceDays(1)
-			s.retrain()
+		ticker := time.NewTicker(*dayEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.advanceDays(1)
+				s.retrain()
+			case <-stop:
+				return
+			}
 		}
 	}()
 

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean lints the entire repository through the real
+// CLI entry point — the same invocation scripts/check.sh gates on —
+// and requires a clean exit. If this fails, a change somewhere in the
+// tree violated a project convention; run `go run ./cmd/tipsylint
+// ./...` for the findings.
+func TestRepoIsLintClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("tipsylint exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutputIsEmptyArrayWhenClean pins the -json contract
+// downstream tooling parses.
+func TestJSONOutputIsEmptyArrayWhenClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "./internal/wan"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("want empty JSON array, got:\n%s", out.String())
+	}
+}
+
+// TestUsageErrors pins the exit-2 paths.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no packages: exit %d, want 2", code)
+	}
+	if code := run([]string{"-rules", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nosuch") {
+		t.Errorf("stderr does not name the unknown rule: %s", errOut.String())
+	}
+}

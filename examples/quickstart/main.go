@@ -5,6 +5,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"tipsy/internal/core"
 	"tipsy/internal/features"
@@ -17,26 +19,36 @@ import (
 )
 
 func main() {
+	if err := run(1, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole quickstart tour against the given seed,
+// writing the narrative to w. It is the entry point the smoke test
+// drives.
+func run(seed int64, w io.Writer) error {
 	// 1. Build a synthetic Internet around a cloud WAN.
 	metros := geo.World()
-	graph := topology.Generate(topology.TestGenConfig(1), metros)
-	workload := traffic.Generate(traffic.TestConfig(1), graph, metros)
-	sim := netsim.New(netsim.DefaultConfig(1), graph, metros, workload)
-	fmt.Printf("simulated WAN: %d ASes, %d peering links, %d flow aggregates\n",
+	graph := topology.Generate(topology.TestGenConfig(seed), metros)
+	workload := traffic.Generate(traffic.TestConfig(seed), graph, metros)
+	sim := netsim.New(netsim.DefaultConfig(seed), graph, metros, workload)
+	fmt.Fprintf(w, "simulated WAN: %d ASes, %d peering links, %d flow aggregates\n",
 		graph.Len(), sim.NumLinks(), len(workload.Flows))
 
 	// 2. Run four days of traffic through the IPFIX pipeline.
 	agg := pipeline.NewAggregator(sim.GeoIP(), sim.DstMetadata)
 	sim.Run(netsim.RunOptions{From: 0, To: 4 * 24, Sink: agg})
 	records := agg.Records()
-	fmt.Printf("collected %d hourly flow aggregates\n", len(records))
+	fmt.Fprintf(w, "collected %d hourly flow aggregates\n", len(records))
 
 	// 3. Train the standard ensemble: most specific model first.
 	hA := core.TrainHistorical(features.SetA, records, core.DefaultHistOpts())
 	hAP := core.TrainHistorical(features.SetAP, records, core.DefaultHistOpts())
 	hAL := core.TrainHistorical(features.SetAL, records, core.DefaultHistOpts())
 	model := core.NewEnsemble(hAP, core.NewGeoCompletion(hAL, sim, metros), hA)
-	fmt.Printf("trained %s (%d AP tuples)\n", model.Name(), hAP.NumTuples())
+	fmt.Fprintf(w, "trained %s (%d AP tuples)\n", model.Name(), hAP.NumTuples())
 
 	// 4. Predict for the biggest flow whose source AS has alternate
 	// peering links (so the what-if below has somewhere to go).
@@ -50,6 +62,9 @@ func main() {
 			big = f
 		}
 	}
+	if big == nil {
+		return fmt.Errorf("no flow with alternate peering links in seed %d workload", seed)
+	}
 	flow := features.FlowFeatures{
 		AS:     big.SrcAS,
 		Prefix: big.SrcPrefix,
@@ -57,33 +72,34 @@ func main() {
 		Region: big.DstRegion,
 		Type:   big.DstType,
 	}
-	fmt.Printf("\nflow %v -> region %d (%v), %.0f Mbps:\n",
+	fmt.Fprintf(w, "\nflow %v -> region %d (%v), %.0f Mbps:\n",
 		flow.AS, flow.Region, flow.Type, big.BaseBps/1e6)
 	preds := model.Predict(core.Query{Flow: flow, K: 3})
-	printPreds(sim, preds)
+	printPreds(w, sim, preds)
 
 	// 5. What if the top link loses the prefix? Ask again with the
 	// link excluded — this is the what-if query the congestion
 	// mitigation system runs before every withdrawal.
 	if len(preds) > 0 {
 		top := preds[0].Link
-		fmt.Printf("\nafter withdrawing the prefix from link %d:\n", top)
-		printPreds(sim, model.Predict(core.Query{
+		fmt.Fprintf(w, "\nafter withdrawing the prefix from link %d:\n", top)
+		printPreds(w, sim, model.Predict(core.Query{
 			Flow: flow, K: 3,
 			Exclude: func(l wan.LinkID) bool { return l == top },
 		}))
 	}
+	return nil
 }
 
-func printPreds(sim *netsim.Sim, preds []core.Prediction) {
+func printPreds(w io.Writer, sim *netsim.Sim, preds []core.Prediction) {
 	if len(preds) == 0 {
-		fmt.Println("  (no prediction)")
+		fmt.Fprintln(w, "  (no prediction)")
 		return
 	}
 	for i, p := range preds {
 		l, _ := sim.Link(p.Link)
 		m := sim.Metros().MustMetro(l.Metro)
-		fmt.Printf("  %d. link %-4d %-14s %-12s peer %-8v %5.1f%%\n",
+		fmt.Fprintf(w, "  %d. link %-4d %-14s %-12s peer %-8v %5.1f%%\n",
 			i+1, p.Link, l.Router, m.Name, l.PeerAS, p.Frac*100)
 	}
 }

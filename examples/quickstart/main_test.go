@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns drives the whole tour end to end on the default
+// seed and spot-checks the narrative it prints.
+func TestQuickstartRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(1, &out); err != nil {
+		t.Fatalf("quickstart failed: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"simulated WAN:",
+		"hourly flow aggregates",
+		"trained",
+		"after withdrawing the prefix from link",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestQuickstartDeterministic re-runs the tour with the same seed and
+// expects the identical transcript — the end-to-end version of the
+// seeded-substrate contract.
+func TestQuickstartDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(3, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed printed different transcripts:\n--- first\n%s--- second\n%s", a.String(), b.String())
+	}
+}

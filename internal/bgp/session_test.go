@@ -92,9 +92,9 @@ func TestSessionNotificationCloses(t *testing.T) {
 		t.Error("receiver should close after NOTIFICATION")
 	}
 	// The sender closes right after its write completes; allow the
-	// goroutine a moment.
-	deadline := time.Now().Add(2 * time.Second)
-	for sa.State() != StateClosed && time.Now().Before(deadline) {
+	// goroutine a moment, polling on a bounded iteration budget (~2s)
+	// rather than the wall clock.
+	for i := 0; i < 400 && sa.State() != StateClosed; i++ {
 		time.Sleep(5 * time.Millisecond)
 	}
 	if sa.State() != StateClosed {

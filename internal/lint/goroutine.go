@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroutine reviews every `go func` literal in non-test code.
+// Two findings: a body that reads an enclosing loop's variables
+// instead of taking them as arguments (scheduling-order dependent and
+// a classic pre-1.22 footgun), and a body with no cancellation or
+// completion path at all — no context, no channel, no WaitGroup —
+// which a long-running daemon can neither stop nor await.
+func checkGoroutine(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		var loopVars []types.Object
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch n := n.(type) {
+			case nil:
+				return
+			case *ast.ForStmt:
+				mark := len(loopVars)
+				if init, ok := n.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := p.Info.Defs[id]; obj != nil {
+								loopVars = append(loopVars, obj)
+							}
+						}
+					}
+				}
+				walkChildren(n, walk)
+				loopVars = loopVars[:mark]
+				return
+			case *ast.RangeStmt:
+				mark := len(loopVars)
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+				walkChildren(n, walk)
+				loopVars = loopVars[:mark]
+				return
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					if captured := capturedLoopVar(p, lit, loopVars); captured != "" {
+						report(n.Pos(), "goroutine captures loop variable %s; pass it as an argument to the func literal", captured)
+					}
+					if !hasCancellationPath(p, lit) {
+						report(n.Pos(), "goroutine has no cancellation or completion path; thread a context.Context, stop channel, or WaitGroup through it")
+					}
+				}
+			}
+			walkChildren(n, walk)
+		}
+		walk(f)
+	}
+}
+
+// walkChildren visits n's immediate children with walk.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		walk(child)
+		return false // walk recurses itself
+	})
+}
+
+// capturedLoopVar returns the name of an enclosing loop variable the
+// literal's body references directly (arguments to the call are
+// evaluated in the loop and are fine).
+func capturedLoopVar(p *Package, lit *ast.FuncLit, loopVars []types.Object) string {
+	if len(loopVars) == 0 {
+		return ""
+	}
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, lv := range loopVars {
+			if obj == lv {
+				captured = id.Name
+				return false
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// hasCancellationPath reports whether the goroutine body touches any
+// mechanism that can stop it or signal its completion: a channel
+// operation, a select, a context.Context value, or a sync.WaitGroup.
+func hasCancellationPath(p *Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel is a receive loop; closing the
+			// channel stops it.
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[n]; obj != nil && isSignalType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSignalType matches channels, context.Context, and sync.WaitGroup
+// (by value or pointer).
+func isSignalType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	}
+	return false
+}

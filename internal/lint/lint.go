@@ -1,0 +1,211 @@
+// Package lint is tipsylint's analysis engine: a stdlib-only static
+// checker enforcing the repository's determinism, lock-hygiene,
+// wire-encoder, and goroutine conventions. See README.md in this
+// directory for the rule catalogue and the suppression syntax.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one analyzer family.
+type Rule struct {
+	Name string
+	Doc  string
+	// Dirs restricts the rule to packages whose module-relative path
+	// is, or is under, one of these; nil applies everywhere.
+	Dirs []string
+	// SkipTests drops findings located in _test.go files.
+	SkipTests bool
+	// TestsEverywhere extends a Dirs-restricted rule to the _test.go
+	// files of every package: test runs must obey the same discipline
+	// as the code they pin down.
+	TestsEverywhere bool
+	Check           func(p *Package, report ReportFunc)
+}
+
+// ReportFunc records a finding at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Rules returns the full analyzer set with the repository's package
+// scoping. simDirs are the seeded-simulation packages where
+// wall-clock and ambient randomness are banned; wireDirs are the
+// protocol encoder packages where dropped write errors are banned.
+func Rules() []Rule {
+	simDirs := []string{
+		"internal/netsim", "internal/topology", "internal/traffic",
+		"internal/core", "internal/wan",
+	}
+	wireDirs := []string{"internal/ipfix", "internal/bmp", "internal/bgp"}
+	return []Rule{
+		{
+			Name:            "determinism",
+			Doc:             "forbid wall-clock time and ambient randomness in simulation code and in tests",
+			Dirs:            simDirs,
+			TestsEverywhere: true,
+			Check:           checkDeterminism,
+		},
+		{
+			Name:  "locks",
+			Doc:   "flag copied mutexes and lock/unlock paths that can leak a held lock",
+			Check: checkLocks,
+		},
+		{
+			Name:  "wire",
+			Doc:   "flag dropped encoder errors and non-fixed-size binary.Write arguments",
+			Dirs:  wireDirs,
+			Check: checkWire,
+		},
+		{
+			Name:      "goroutine",
+			Doc:       "flag goroutines with captured loop variables or no cancellation path",
+			SkipTests: true,
+			Check:     checkGoroutine,
+		},
+	}
+}
+
+func (r Rule) appliesTo(p *Package) bool {
+	if r.Dirs == nil {
+		return true
+	}
+	for _, d := range r.Dirs {
+		if p.Rel == d || strings.HasPrefix(p.Rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the rules to the packages, honouring per-rule scoping
+// and //lint:ignore suppressions, and returns findings sorted by
+// position.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		ignores := collectIgnores(p)
+		for _, r := range rules {
+			inScope := r.appliesTo(p)
+			if !inScope && !r.TestsEverywhere {
+				continue
+			}
+			r.Check(p, func(pos token.Pos, format string, args ...any) {
+				position := p.Fset.Position(pos)
+				isTest := strings.HasSuffix(position.Filename, "_test.go")
+				if r.SkipTests && isTest {
+					return
+				}
+				if !inScope && !(r.TestsEverywhere && isTest) {
+					return
+				}
+				if ignores.suppressed(r.Name, position) {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     position,
+					Rule:    r.Name,
+					Message: fmt.Sprintf(format, args...),
+				})
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreSet maps file -> line -> rule names suppressed on that line.
+type ignoreSet map[string]map[int][]string
+
+// collectIgnores gathers //lint:ignore <rule> <reason> directives. A
+// directive suppresses matching findings on its own line and on the
+// line directly below (the usual "comment above the statement"
+// placement). The reason is mandatory; a bare rule name is ignored so
+// that silencing a finding always costs an explanation.
+func collectIgnores(p *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive is void
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				lines[pos.Line+1] = append(lines[pos.Line+1], fields[0])
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppressed(rule string, pos token.Position) bool {
+	for _, r := range s[pos.Filename][pos.Line] {
+		if r == rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText prints one finding per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// WriteJSON prints the findings as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	type jsonDiag struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden want.txt files")
+
+// sharedLoader hands every test the same loader so the standard
+// library is type-checked from source once, not per subtest.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// descope widens a rule to every package so fixtures outside the
+// production directories still trigger it.
+func descope(r Rule) Rule {
+	r.Dirs = nil
+	r.TestsEverywhere = false
+	return r
+}
+
+func ruleByName(t *testing.T, name string) Rule {
+	t.Helper()
+	for _, r := range Rules() {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q", name)
+	return Rule{}
+}
+
+func runOnDir(t *testing.T, dir string, rules ...Rule) []Diagnostic {
+	t.Helper()
+	pkgs, err := loader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrs {
+			t.Errorf("fixture %s does not type-check: %v", dir, e)
+		}
+	}
+	return Run(pkgs, rules)
+}
+
+func format(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	return b.String()
+}
+
+// TestGoldenFixtures proves every rule family fires on its violating
+// fixture package with exactly the expected diagnostics, and stays
+// silent on the clean one.
+func TestGoldenFixtures(t *testing.T) {
+	for _, base := range Rules() {
+		r := descope(base)
+		t.Run(r.Name+"/bad", func(t *testing.T) {
+			got := format(runOnDir(t, filepath.Join("testdata", r.Name, "bad"), r))
+			if got == "" {
+				t.Fatal("rule reported nothing on its violating fixture")
+			}
+			goldenPath := filepath.Join("testdata", r.Name, "bad", "want.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch (-want +got):\n--- want\n%s--- got\n%s", want, got)
+			}
+		})
+		t.Run(r.Name+"/clean", func(t *testing.T) {
+			if got := format(runOnDir(t, filepath.Join("testdata", r.Name, "clean"), r)); got != "" {
+				t.Errorf("rule fired on the clean fixture:\n%s", got)
+			}
+		})
+	}
+}
+
+// TestDeliberateViolations introduces one fresh violation per rule
+// family inline and asserts the analyzer catches it — the regression
+// guard that a rule cannot silently go blind.
+func TestDeliberateViolations(t *testing.T) {
+	cases := []struct {
+		rule string
+		src  string
+		want string // substring of the expected message
+	}{
+		{"determinism", `package p
+import "math/rand"
+func f() float64 { return rand.Float64() }
+`, "global math/rand.Float64"},
+		{"determinism", `package p
+import "time"
+func f() int64 { return time.Now().Unix() }
+`, "time.Now"},
+		{"locks", `package p
+import "sync"
+type T struct{ mu sync.RWMutex }
+func (t T) Get() int { return 0 }
+`, "value receiver"},
+		{"locks", `package p
+import "sync"
+var mu sync.Mutex
+func f(ok bool) int {
+	mu.Lock()
+	if ok {
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+`, "still held"},
+		{"wire", `package p
+import ("encoding/binary"; "io")
+func f(w io.Writer) { binary.Write(w, binary.BigEndian, uint64(1)) }
+`, "error discarded"},
+		{"wire", `package p
+import ("encoding/binary"; "io")
+func f(w io.Writer, s string) error { return binary.Write(w, binary.BigEndian, s) }
+`, "non-fixed-size"},
+		{"goroutine", `package p
+func f() { go func() { for {} }() }
+`, "no cancellation"},
+		{"goroutine", `package p
+import "sync"
+func f(xs []int, wg *sync.WaitGroup) {
+	for _, x := range xs {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = x }()
+	}
+}
+`, "captures loop variable x"},
+	}
+	for i, tc := range cases {
+		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		diags := Run([]*Package{p}, []Rule{descope(ruleByName(t, tc.rule))})
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("case %d (%s): no diagnostic containing %q; got %v", i, tc.rule, tc.want, diags)
+		}
+	}
+}
+
+// TestSuppression covers the //lint:ignore grammar: a justified
+// directive silences the finding on its line and the line below; a
+// wrong rule name or a missing reason does not.
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		wantDiags int
+	}{
+		{"same line", `package p
+import "time"
+func f() int64 { return time.Now().Unix() } //lint:ignore determinism test fixture needs wall clock
+`, 0},
+		{"line above", `package p
+import "time"
+//lint:ignore determinism test fixture needs wall clock
+func f() int64 { return time.Now().Unix() }
+`, 0},
+		{"all alias", `package p
+import "time"
+//lint:ignore all test fixture needs wall clock
+func f() int64 { return time.Now().Unix() }
+`, 0},
+		{"wrong rule", `package p
+import "time"
+//lint:ignore locks wrong family
+func f() int64 { return time.Now().Unix() }
+`, 1},
+		{"missing reason", `package p
+import "time"
+//lint:ignore determinism
+func f() int64 { return time.Now().Unix() }
+`, 1},
+		{"not adjacent", `package p
+import "time"
+//lint:ignore determinism too far away
+
+func f() int64 { return time.Now().Unix() }
+`, 1},
+	}
+	rule := descope(ruleByName(t, "determinism"))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := loader(t).LoadSource(strings.ReplaceAll(tc.name, " ", "_")+".go", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{p}, []Rule{rule})
+			if len(diags) != tc.wantDiags {
+				t.Errorf("got %d diagnostics, want %d: %v", len(diags), tc.wantDiags, diags)
+			}
+		})
+	}
+}
+
+// TestScoping checks the package gating: the determinism rule skips
+// non-simulation packages except for their test files, and the
+// goroutine rule skips test files everywhere.
+func TestScoping(t *testing.T) {
+	detSrc := `package p
+import "time"
+func f() int64 { return time.Now().Unix() }
+`
+	rule := ruleByName(t, "determinism")
+
+	p, err := loader(t).LoadSource("scope_prod.go", detSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Rel = "internal/ipfix" // encoder package: out of determinism scope
+	if diags := Run([]*Package{p}, []Rule{rule}); len(diags) != 0 {
+		t.Errorf("determinism fired outside its packages: %v", diags)
+	}
+
+	p2, err := loader(t).LoadSource("scope_sim.go", detSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Rel = "internal/netsim"
+	if diags := Run([]*Package{p2}, []Rule{rule}); len(diags) != 1 {
+		t.Errorf("determinism silent inside its packages: %v", diags)
+	}
+
+	p3, err := loader(t).LoadSource("scope_test_file_test.go", detSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3.Rel = "internal/ipfix"
+	if diags := Run([]*Package{p3}, []Rule{rule}); len(diags) != 1 {
+		t.Errorf("determinism must cover test files repo-wide: %v", diags)
+	}
+
+	goSrc := `package p
+func f() { go func() { for {} }() }
+`
+	p4, err := loader(t).LoadSource("scope_go_test.go", goSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{p4}, []Rule{ruleByName(t, "goroutine")}); len(diags) != 0 {
+		t.Errorf("goroutine rule should skip test files: %v", diags)
+	}
+}
+
+// TestJSONOutput pins the machine-readable format.
+func TestJSONOutput(t *testing.T) {
+	p, err := loader(t).LoadSource("json.go", `package p
+import "time"
+func f() int64 { return time.Now().Unix() }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{p}, []Rule{descope(ruleByName(t, "determinism"))})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"file": "json.go"`, `"line": 3`, `"rule": "determinism"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpandPatterns ensures the walker honours ./... and skips
+// testdata (the fixtures must never gate the real tree).
+func TestExpandPatterns(t *testing.T) {
+	l := loader(t)
+	dirs, err := ExpandPatterns(l.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSelf := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into %s", d)
+		}
+		if filepath.Base(d) == "lint" {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Error("./... did not find internal/lint")
+	}
+}

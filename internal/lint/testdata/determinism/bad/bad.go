@@ -1,0 +1,25 @@
+// Package fixture violates every determinism convention: wall-clock
+// reads, the process-global RNG, and a time-seeded generator.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global generator and stamps with the wall
+// clock.
+func Jitter() (int, time.Time) {
+	n := rand.Intn(100)
+	return n, time.Now()
+}
+
+// NewRNG seeds from the clock, so no two runs replay.
+func NewRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Shuffle uses the global Shuffle.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

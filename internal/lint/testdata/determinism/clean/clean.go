@@ -1,0 +1,24 @@
+// Package fixture follows the seeded-substrate conventions: every
+// random draw comes from an injected *rand.Rand built from an
+// explicit seed, and timestamps derive from simulated hours.
+package fixture
+
+import "math/rand"
+
+// Config carries the explicit seed.
+type Config struct{ Seed int64 }
+
+// NewRNG builds the sanctioned generator.
+func NewRNG(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// Jitter draws from the injected generator.
+func Jitter(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+// Stamp derives a timestamp from the simulated hour, not the clock.
+func Stamp(hour uint32) uint32 {
+	return hour * 3600
+}

@@ -1,0 +1,44 @@
+// Package fixture follows the goroutine conventions: loop variables
+// passed as arguments, and every goroutine stoppable or awaitable.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// FanOut passes the loop variable and joins on the WaitGroup.
+func FanOut(items []int, wg *sync.WaitGroup) {
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			process(items[i])
+		}(i)
+	}
+}
+
+// Background honours its context.
+func Background(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				process(0)
+			}
+		}
+	}()
+}
+
+// Pump drains a channel; closing it stops the goroutine.
+func Pump(work chan int) {
+	go func() {
+		for w := range work {
+			process(w)
+		}
+	}()
+}
+
+func process(int) {}

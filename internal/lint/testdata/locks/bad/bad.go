@@ -1,0 +1,35 @@
+// Package fixture violates the lock-hygiene conventions: a value
+// receiver copying its mutex, an early return that leaks the lock,
+// and a lock that is never released.
+package fixture
+
+import "sync"
+
+// Counter embeds its lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value has a value receiver, so it locks a copy of mu.
+func (c Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Lookup leaks the read lock on the early return.
+func (c *Counter) Lookup(want int) bool {
+	c.mu.Lock()
+	if c.n == want {
+		return true
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// Seal takes the lock and never gives it back.
+func (c *Counter) Seal() {
+	c.mu.Lock()
+	c.n = -1
+}

@@ -1,0 +1,42 @@
+// Package fixture follows the lock-hygiene conventions: pointer
+// receivers on mutex-bearing structs, defer for multi-path functions,
+// and explicit unlocks that precede every return.
+package fixture
+
+import "sync"
+
+// Counter embeds its lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value releases via defer.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Add releases explicitly before its single return path.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Transition releases on both paths before returning — the handshake
+// pattern, where the critical section must not span the slow work.
+func (c *Counter) Transition(want int) bool {
+	c.mu.Lock()
+	if c.n != want {
+		c.mu.Unlock()
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	slowWork()
+	return true
+}
+
+func slowWork() {}

@@ -1,0 +1,40 @@
+// Package fixture follows the wire-encoder conventions: errors are
+// propagated, sizes are explicit, and the bytes.Buffer exemption
+// applies.
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+// Header is fixed-size throughout.
+type Header struct {
+	Version uint16
+	Length  uint16
+}
+
+// EncodeHeader propagates the error.
+func EncodeHeader(w io.Writer, h Header) error {
+	return binary.Write(w, binary.BigEndian, h)
+}
+
+// EncodeCount sizes the count explicitly.
+func EncodeCount(w io.Writer, n int) error {
+	return binary.Write(w, binary.BigEndian, uint32(n))
+}
+
+// Marshal builds the PDU in a bytes.Buffer, whose writes never fail.
+func Marshal(h Header, body []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{byte(h.Version >> 8), byte(h.Version)})
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// Flush checks the writer's error.
+func Flush(w io.Writer, buf []byte) error {
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkWire guards the protocol encoders. A dropped error from
+// binary.Write/binary.Read or an io.Writer means a short or failed
+// write silently corrupts the byte stream — for IPFIX/BMP/BGP that is
+// a malformed PDU the peer may not even detect. A non-fixed-size
+// argument to binary.Write (int, string, a struct with a slice) does
+// not fail at compile time; it returns an error at runtime, on every
+// call.
+func checkWire(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedWrite(p, call, report)
+				}
+			case *ast.AssignStmt:
+				if allBlank(n.Lhs) && len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						checkDroppedWrite(p, call, report)
+					}
+				}
+			case *ast.CallExpr:
+				checkBinaryWriteArg(p, n, report)
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// checkDroppedWrite flags a call whose error result is discarded when
+// the callee is binary.Write/Read or an io.Writer-shaped Write
+// method. *bytes.Buffer and *strings.Builder writes are exempt: both
+// document that the returned error is always nil.
+func checkDroppedWrite(p *Package, call *ast.CallExpr, report ReportFunc) {
+	if pkg, name := calleePkgFunc(p, call); pkg == "encoding/binary" && (name == "Write" || name == "Read") {
+		report(call.Pos(), "binary.%s error discarded; a failed %s leaves the stream corrupt", name, name)
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isWriterSignature(sig) {
+		return
+	}
+	if recv := sig.Recv().Type(); isPointerTo(recv, "bytes", "Buffer") || isPointerTo(recv, "strings", "Builder") {
+		return
+	}
+	report(call.Pos(), "%s.Write error discarded; check n and err or the encoded message may be truncated", types.ExprString(sel.X))
+}
+
+// isWriterSignature matches func([]byte) (int, error).
+func isWriterSignature(sig *types.Signature) bool {
+	params, results := sig.Params(), sig.Results()
+	if params.Len() != 1 || results.Len() != 2 {
+		return false
+	}
+	slice, ok := params.At(0).Type().Underlying().(*types.Slice)
+	if !ok || !isBasicKind(slice.Elem(), types.Byte) {
+		return false
+	}
+	if !isBasicKind(results.At(0).Type(), types.Int) {
+		return false
+	}
+	named, ok := results.At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isBasicKind(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+func isPointerTo(t types.Type, pkg, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// checkBinaryWriteArg verifies the data argument of binary.Write is a
+// fixed-size value, a slice of fixed-size values, or a pointer to
+// one — the contract encoding/binary only enforces at runtime.
+func checkBinaryWriteArg(p *Package, call *ast.CallExpr, report ReportFunc) {
+	pkg, name := calleePkgFunc(p, call)
+	if pkg != "encoding/binary" || name != "Write" || len(call.Args) != 3 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[2]]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return // dynamic type unknown; runtime's problem
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		t = u.Elem()
+	case *types.Slice:
+		t = u.Elem()
+	}
+	if !fixedSize(t) {
+		report(call.Args[2].Pos(), "binary.Write data argument has non-fixed-size type %s; it will error at runtime — use a sized type (e.g. uint32) or an explicit encoder",
+			types.TypeString(tv.Type, types.RelativeTo(p.Types)))
+	}
+}
+
+// fixedSize mirrors encoding/binary's notion of fixed-size data:
+// sized booleans/numerics, and arrays/structs composed of them. No
+// cycle guard is needed: a type can only recurse through pointers,
+// slices, or maps, and those are all non-fixed.
+func fixedSize(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool,
+			types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Float32, types.Float64, types.Complex64, types.Complex128:
+			return true
+		}
+		return false
+	case *types.Array:
+		return fixedSize(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !fixedSize(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"tipsy/internal/ipfix"
+	"tipsy/internal/wan"
+)
+
+// ingressFingerprint runs hours [0, to) on a fresh simulator built
+// from seed and folds every emitted (hour, link, record) tuple — the
+// ingress assignments the paper's models learn from — into one hash.
+func ingressFingerprint(t *testing.T, seed int64, to wan.Hour) uint64 {
+	t.Helper()
+	s := testSim(t, seed)
+	h := fnv.New64a()
+	n := 0
+	s.Run(RunOptions{From: 0, To: to, Sink: RecordSinkFunc(
+		func(hour wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
+			n++
+			fmt.Fprintf(h, "%d|%d|%v|%v|%d|%d|%d|%d|%d\n",
+				hour, link, rec.SrcAddr, rec.DstAddr,
+				rec.Octets, rec.Packets, rec.Ingress, rec.SrcAS, rec.StartSecs)
+		})})
+	if n == 0 {
+		t.Fatal("simulation emitted no flow records")
+	}
+	return h.Sum64()
+}
+
+// TestSameSeedReplaysByteForByte is the behavioural twin of the
+// tipsylint determinism rule: two independently constructed runs with
+// the same seed must produce identical ingress-assignment streams.
+// If this fails, some code path consulted the wall clock, the global
+// RNG, or iteration order of a map.
+func TestSameSeedReplaysByteForByte(t *testing.T) {
+	const seed, hours = 7, 12
+	a := ingressFingerprint(t, seed, hours)
+	b := ingressFingerprint(t, seed, hours)
+	if a != b {
+		t.Fatalf("same seed diverged: run1=%x run2=%x", a, b)
+	}
+	// Sanity-check the fingerprint actually sees the substrate: a
+	// different seed must not collide.
+	if c := ingressFingerprint(t, seed+1, hours); c == a {
+		t.Fatalf("different seed produced an identical stream (%x); fingerprint is blind", c)
+	}
+}

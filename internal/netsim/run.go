@@ -57,7 +57,7 @@ func (s *Sim) Run(opts RunOptions) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			go func(w int, h wan.Hour) {
 				defer wg.Done()
 				localLB := make([]float64, len(s.links))
 				var out []obs
@@ -94,7 +94,7 @@ func (s *Sim) Run(opts RunOptions) {
 				}
 				perWorker[w] = out
 				perWorkerLB[w] = localLB
-			}(w)
+			}(w, h)
 		}
 		wg.Wait()
 

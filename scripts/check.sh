@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check.sh — the repository's full verify gate.
+#
+# Runs, in order: formatting, go vet, build, tipsylint (the project's
+# own static-analysis suite: determinism, lock hygiene, wire-encoder
+# safety, goroutine hygiene), and the test suite under the race
+# detector. Everything is stdlib Go; no network access is needed.
+#
+# Usage: scripts/check.sh [-short]
+#   -short  skip the race detector (plain `go test`), for quick loops
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=0
+if [[ "${1:-}" == "-short" ]]; then
+    short=1
+fi
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> tipsylint ./..."
+go run ./cmd/tipsylint ./...
+
+if [[ $short -eq 1 ]]; then
+    echo "==> go test ./... (short: race detector skipped)"
+    go test -count=1 ./...
+else
+    echo "==> go test -race -count=1 ./..."
+    go test -race -count=1 ./...
+fi
+
+echo "OK"
