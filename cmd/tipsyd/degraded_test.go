@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+)
+
+// smallServer builds a cheap one-day server, bypassing the shared
+// singleton so tests can mutate serving state freely.
+func smallServer(t *testing.T, seed int64) *server {
+	t.Helper()
+	s := newServer(seed, 1)
+	s.advanceDays(1)
+	s.retrain()
+	if s.model == nil {
+		t.Fatal("bootstrap did not produce a model")
+	}
+	return s
+}
+
+func TestHealthzDegradedWhenUntrained(t *testing.T) {
+	s := newServer(31, 1) // no bootstrap: nothing trained
+	rr := get(t, s, "/healthz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("untrained server healthz = %d, want 503", rr.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "degraded" || body["model_ready"] != false {
+		t.Errorf("degraded body: %v", body)
+	}
+}
+
+func TestHealthzDegradedWhenStale(t *testing.T) {
+	s := smallServer(t, 32)
+	s.staleAfter = 24
+	if rr := get(t, s, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("fresh model healthz = %d, want 200", rr.Code)
+	}
+	// Telemetry advances two days with no retrain: past the bound.
+	s.advanceDays(2)
+	rr := get(t, s, "/healthz")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stale model healthz = %d, want 503", rr.Code)
+	}
+	var body map[string]any
+	json.Unmarshal(rr.Body.Bytes(), &body)
+	if body["status"] != "degraded" || body["model_age_hours"].(float64) != 48 {
+		t.Errorf("stale body: %v", body)
+	}
+	// A retrain restores health.
+	s.retrain()
+	if rr := get(t, s, "/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("healthz after retrain = %d, want 200", rr.Code)
+	}
+}
+
+func TestPredictLadderFallsBackToGeo(t *testing.T) {
+	s := smallServer(t, 33)
+	// A flow the models know answers from the ensemble.
+	if len(s.records) == 0 {
+		t.Fatal("no records")
+	}
+	known := s.records[0].Flow
+	preds, rung := s.predict(core.Query{Flow: known, K: 3})
+	if rung != "ensemble" || len(preds) == 0 {
+		t.Fatalf("known flow answered by %q with %d predictions", rung, len(preds))
+	}
+	// A flow from an AS the window never saw: every trained model is
+	// empty for it, and the geographic fallback must still answer.
+	novel := features.FlowFeatures{AS: 4200000001, Prefix: 0x01020300, Loc: 3, Region: known.Region, Type: known.Type}
+	preds, rung = s.predict(core.Query{Flow: novel, K: 3})
+	if rung != "geo" {
+		t.Fatalf("novel flow answered by %q, want geo", rung)
+	}
+	if len(preds) == 0 {
+		t.Fatal("geo fallback returned nothing")
+	}
+	s.mu.RLock()
+	fb := s.fallbacks
+	s.mu.RUnlock()
+	if fb.Ensemble != 1 || fb.Geo != 1 {
+		t.Errorf("fallback counters = %+v", fb)
+	}
+	// The counters surface in /healthz.
+	var body map[string]any
+	rr := get(t, s, "/healthz")
+	json.Unmarshal(rr.Body.Bytes(), &body)
+	counters, ok := body["fallbacks"].(map[string]any)
+	if !ok || counters["geo"].(float64) != 1 {
+		t.Errorf("healthz fallbacks: %v", body["fallbacks"])
+	}
+}
+
+func TestPredictServesWithNoModelAtAll(t *testing.T) {
+	// Degraded-mode serving: before any training, the API still
+	// answers via GeoNearest instead of refusing.
+	s := newServer(34, 1)
+	f := features.FlowFeatures{AS: 7, Prefix: 0x0a000100, Loc: 2, Region: 1, Type: 1}
+	preds, rung := s.predict(core.Query{Flow: f, K: 3})
+	if rung != "geo" || len(preds) == 0 {
+		t.Fatalf("untrained server: rung=%q preds=%d", rung, len(preds))
+	}
+}
+
+func TestCheckpointRecoveryOnRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ck")
+	a := smallServer(t, 35)
+	a.checkpointPath = path
+	if err := a.saveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" process over the same WAN recovers the models
+	// without retraining.
+	b := newServer(35, 1)
+	b.checkpointPath = path
+	if err := b.recoverCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.recovered || b.model == nil {
+		t.Fatal("recovery did not install a serving model")
+	}
+	if b.trainedAt != a.trainedAt || b.simulated != a.trainedAt {
+		t.Errorf("recovered clock: trainedAt=%d simulated=%d, want both %d",
+			b.trainedAt, b.simulated, a.trainedAt)
+	}
+	// Recovered predictions are identical to the originals.
+	for i := 0; i < len(a.records) && i < 50; i += 10 {
+		q := core.Query{Flow: a.records[i].Flow, K: 3}
+		pa, pb := a.model.Predict(q), b.model.Predict(q)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("record %d: predictions diverge after recovery:\n a %+v\n b %+v", i, pa, pb)
+		}
+	}
+	// A fresh model (age 0, within staleness bound) serves healthily.
+	b.staleAfter = 48
+	if rr := get(t, b, "/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("recovered healthz = %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestRecoverRejectsCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ck")
+	a := smallServer(t, 36)
+	a.checkpointPath = path
+	if err := a.saveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate: the shape a crash would leave without atomic rename.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := newServer(36, 1)
+	b.checkpointPath = path
+	if err := b.recoverCheckpoint(); err == nil {
+		t.Fatal("truncated checkpoint recovered successfully")
+	}
+	if b.model != nil || b.recovered {
+		t.Error("failed recovery must leave the server cold")
+	}
+}
+
+func TestRunGracefulShutdownCheckpoints(t *testing.T) {
+	s := smallServer(t, 37)
+	s.checkpointPath = filepath.Join(t.TempDir(), "model.ck")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		// Port 0 picks a free port; the ticker never fires in-test.
+		errCh <- run(ctx, s, "127.0.0.1:0", time.Hour)
+	}()
+	cancel() // simulate SIGINT/SIGTERM
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after shutdown signal")
+	}
+	// The shutdown path must have written the final checkpoint.
+	ck, err := core.LoadCheckpointFile(s.checkpointPath)
+	if err != nil {
+		t.Fatalf("no usable checkpoint after shutdown: %v", err)
+	}
+	if ck.TrainedAt != s.trainedAt || len(ck.Models) != 3 {
+		t.Errorf("checkpoint contents: trainedAt=%d models=%d", ck.TrainedAt, len(ck.Models))
+	}
+}

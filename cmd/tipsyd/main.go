@@ -4,26 +4,42 @@
 // HTTP API answers the congestion mitigation system's what-if
 // queries.
 //
-//	tipsyd -listen :8080 -seed 1 -train-days 8 -day-every 10s
+//	tipsyd -listen :8080 -seed 1 -train-days 8 -day-every 10s \
+//	       -checkpoint /var/lib/tipsy/model.ck -stale-after 72
 //
 // API:
 //
-//	GET  /healthz            liveness and model freshness
+//	GET  /healthz            liveness, model freshness, degraded state
 //	GET  /v1/model           model metadata
 //	GET  /v1/links           link directory
 //	POST /v1/predict         predict ingress links for flows
 //
 // The -day-every flag compresses simulated time: every interval the
 // daemon simulates one more day of traffic and retrains.
+//
+// Serving is degradation-tolerant: queries walk a fallback ladder
+// (trained ensemble, then the coarse Hist_A model, then the
+// training-free GeoNearest guesser), so the daemon answers even
+// before its first retrain or for flows its models never saw. The
+// model is checkpointed atomically after every retrain and on
+// shutdown, and recovered on restart, so a crash never costs more
+// than the current training interval. /healthz reports "degraded"
+// (with HTTP 503) while no trained ensemble is serving or the model
+// is stale.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"tipsy/internal/bgp"
@@ -38,38 +54,98 @@ import (
 	"tipsy/internal/wan"
 )
 
+// fallbackCounters counts which rung of the degraded-mode ladder
+// answered prediction queries.
+type fallbackCounters struct {
+	Ensemble   uint64 `json:"ensemble"`
+	Historical uint64 `json:"historical"`
+	Geo        uint64 `json:"geo"`
+	None       uint64 `json:"none"`
+}
+
 type server struct {
 	sim       *netsim.Sim
 	metros    *geo.DB
 	trainDays int
 
+	// checkpointPath, when set, is where retrains atomically persist
+	// the trained models and where a restart recovers them from.
+	checkpointPath string
+	// staleAfter marks the model stale once it is this many simulated
+	// hours behind the telemetry. 0 disables the staleness check.
+	staleAfter wan.Hour
+
 	mu        sync.RWMutex
-	model     core.Predictor
-	hist      *core.Historical // AL component, for size reporting
+	model     core.Predictor   // rung 1: the trained ensemble
+	histA     *core.Historical // rung 2: coarse source-AS model
+	geoFall   *core.GeoNearest // rung 3: training-free geographic guess
+	hAP, hAL  *core.Historical // retained for checkpointing
 	records   []features.Record
 	simulated wan.Hour
 	trainedAt wan.Hour
 	tuples    int
+	recovered bool // serving models recovered from a checkpoint
+	fallbacks fallbackCounters
 }
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8080", "HTTP listen address")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		trainDays = flag.Int("train-days", 8, "sliding training window (days)")
-		dayEvery  = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		trainDays  = flag.Int("train-days", 8, "sliding training window (days)")
+		dayEvery   = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
+		checkpoint = flag.String("checkpoint", "", "path for atomic model checkpoints (empty disables)")
+		staleAfter = flag.Int("stale-after", 72, "simulated hours before the model counts as stale (0 disables)")
 	)
 	flag.Parse()
 
-	log.Printf("bootstrapping: simulating %d days of telemetry", *trainDays)
-	s := buildServer(*seed, *trainDays)
+	s := newServer(*seed, *trainDays)
+	s.checkpointPath = *checkpoint
+	s.staleAfter = wan.Hour(*staleAfter)
 
-	// The retrain loop owns a stoppable ticker so tests (and a future
-	// graceful-shutdown path) can halt it by closing stop.
+	if s.checkpointPath != "" {
+		switch err := s.recoverCheckpoint(); {
+		case err == nil:
+			log.Printf("recovered checkpoint from %s (trained at simulated hour %d)",
+				s.checkpointPath, s.trainedAt)
+		case os.IsNotExist(err):
+			log.Printf("no checkpoint at %s; starting cold", s.checkpointPath)
+		default:
+			log.Printf("checkpoint at %s unusable (%v); starting cold", s.checkpointPath, err)
+		}
+	}
+
+	if s.recovered {
+		// The recovered models serve immediately; the retrain loop
+		// refills the sliding window as simulated days pass.
+		log.Printf("serving from recovered checkpoint; skipping bootstrap")
+	} else {
+		log.Printf("bootstrapping: simulating %d days of telemetry", *trainDays)
+		s.advanceDays(*trainDays)
+		s.retrain()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	log.Printf("tipsyd listening on %s (%d links, one simulated day per %v)",
+		*listen, s.sim.NumLinks(), *dayEvery)
+	if err := run(ctx, s, *listen, *dayEvery); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tipsyd shut down cleanly")
+}
+
+// run serves the API and the retrain loop until the HTTP server fails
+// or ctx is cancelled (the signal-driven shutdown path). On shutdown
+// it stops the retrain loop, drains in-flight HTTP requests, and
+// writes a final checkpoint so the trained model survives the
+// restart.
+func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) error {
 	stop := make(chan struct{})
-	defer close(stop)
+	done := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(*dayEvery)
+		defer close(done)
+		ticker := time.NewTicker(dayEvery)
 		defer ticker.Stop()
 		for {
 			select {
@@ -82,14 +158,42 @@ func main() {
 		}
 	}()
 
-	log.Printf("tipsyd listening on %s (%d links, one simulated day per %v)",
-		*listen, s.sim.NumLinks(), *dayEvery)
-	log.Fatal(http.ListenAndServe(*listen, s.mux()))
+	srv := &http.Server{Addr: listen, Handler: s.mux()}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+
+	var err error
+	select {
+	case err = <-errCh:
+		// The listener died on its own; nothing to drain.
+	case <-ctx.Done():
+		log.Printf("shutdown signal received; draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = srv.Shutdown(sctx)
+		cancel()
+		<-errCh // ListenAndServe has returned ErrServerClosed
+	}
+	close(stop)
+	<-done
+
+	if cerr := s.saveCheckpoint(); cerr != nil {
+		log.Printf("final checkpoint failed: %v", cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
 }
 
-// buildServer constructs the simulated WAN, bootstraps trainDays of
-// telemetry, and trains the first serving model.
-func buildServer(seed int64, trainDays int) *server {
+// newServer constructs the simulated WAN and an empty (untrained)
+// server around it. Until the first retrain, queries are answered by
+// the GeoNearest fallback and /healthz reports degraded.
+func newServer(seed int64, trainDays int) *server {
 	metros := geo.World()
 	g := topology.Generate(topology.TestGenConfig(seed), metros)
 	w := traffic.Generate(traffic.TestConfig(seed+10), g, metros)
@@ -98,7 +202,18 @@ func buildServer(seed int64, trainDays int) *server {
 	cfg.OutagesPerLinkYear = 10
 	sim := netsim.New(cfg, g, metros, w)
 
-	s := &server{sim: sim, metros: metros, trainDays: trainDays}
+	return &server{
+		sim:       sim,
+		metros:    metros,
+		trainDays: trainDays,
+		geoFall:   core.NewGeoNearest(sim, metros),
+	}
+}
+
+// buildServer constructs the simulated WAN, bootstraps trainDays of
+// telemetry, and trains the first serving model.
+func buildServer(seed int64, trainDays int) *server {
+	s := newServer(seed, trainDays)
 	s.advanceDays(trainDays)
 	s.retrain()
 	return s
@@ -134,7 +249,7 @@ func (s *server) advanceDays(n int) {
 }
 
 // retrain rebuilds the serving ensemble from the sliding window —
-// the paper's daily retraining cadence.
+// the paper's daily retraining cadence — and checkpoints it.
 func (s *server) retrain() {
 	s.mu.RLock()
 	recs := s.records
@@ -150,22 +265,144 @@ func (s *server) retrain() {
 	model := core.NewEnsemble(hAP, geoModel, hA)
 	s.mu.Lock()
 	s.model = model
-	s.hist = hAP
+	s.histA = hA
+	s.hAP, s.hAL = hAP, hAL
 	s.trainedAt = now
 	s.tuples = hAP.NumTuples() + hAL.NumTuples() + hA.NumTuples()
+	s.recovered = false
 	s.mu.Unlock()
 	log.Printf("retrained at simulated hour %d on %d records (%d tuples)", now, len(recs), s.tuples)
+	if err := s.saveCheckpoint(); err != nil {
+		log.Printf("checkpoint failed: %v", err)
+	}
+}
+
+// saveCheckpoint atomically persists the trained models. A no-op when
+// checkpointing is disabled or nothing is trained yet.
+func (s *server) saveCheckpoint() error {
+	s.mu.RLock()
+	path := s.checkpointPath
+	ck := core.Checkpoint{TrainedAt: s.trainedAt}
+	if s.hAP != nil {
+		ck.Models = []*core.Historical{s.hAP, s.hAL, s.histA}
+	}
+	s.mu.RUnlock()
+	if path == "" || len(ck.Models) == 0 {
+		return nil
+	}
+	return ck.SaveFile(path)
+}
+
+// recoverCheckpoint restores the serving models from the checkpoint
+// file, rebuilding the ensemble around them, and resumes the
+// simulation clock at the checkpointed hour. The recovered model
+// serves immediately; the next retrain replaces it.
+func (s *server) recoverCheckpoint() error {
+	ck, err := core.LoadCheckpointFile(s.checkpointPath)
+	if err != nil {
+		return err
+	}
+	var hA, hAP, hAL *core.Historical
+	for _, m := range ck.Models {
+		switch m.Set() {
+		case features.SetA:
+			hA = m
+		case features.SetAP:
+			hAP = m
+		case features.SetAL:
+			hAL = m
+		}
+	}
+	if hA == nil || hAP == nil || hAL == nil {
+		return fmt.Errorf("checkpoint incomplete: %d models", len(ck.Models))
+	}
+	model := core.NewEnsemble(hAP, core.NewGeoCompletion(hAL, s.sim, s.metros), hA)
+	s.mu.Lock()
+	s.model = model
+	s.histA = hA
+	s.hAP, s.hAL = hAP, hAL
+	s.trainedAt = ck.TrainedAt
+	if s.simulated < ck.TrainedAt {
+		s.simulated = ck.TrainedAt
+	}
+	s.tuples = hAP.NumTuples() + hAL.NumTuples() + hA.NumTuples()
+	s.recovered = true
+	s.mu.Unlock()
+	return nil
+}
+
+// predict walks the degraded-mode ladder: the trained ensemble, then
+// the coarse Hist_A model, then the training-free geographic guess.
+// It reports which rung answered; counters feed /healthz.
+func (s *server) predict(q core.Query) ([]core.Prediction, string) {
+	s.mu.RLock()
+	model, histA, geoFall := s.model, s.histA, s.geoFall
+	s.mu.RUnlock()
+	if model != nil {
+		if preds := model.Predict(q); len(preds) > 0 {
+			s.bump(&s.fallbacks.Ensemble)
+			return preds, "ensemble"
+		}
+	}
+	if histA != nil {
+		if preds := histA.Predict(q); len(preds) > 0 {
+			s.bump(&s.fallbacks.Historical)
+			return preds, "historical"
+		}
+	}
+	if geoFall != nil {
+		if preds := geoFall.Predict(q); len(preds) > 0 {
+			s.bump(&s.fallbacks.Geo)
+			return preds, "geo"
+		}
+	}
+	s.bump(&s.fallbacks.None)
+	return nil, "none"
+}
+
+func (s *server) bump(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+// degradedLocked reports whether serving is degraded (no trained
+// ensemble, or a model staler than the configured bound) and why.
+// Callers hold s.mu.
+func (s *server) degradedLocked() (bool, string) {
+	if s.model == nil {
+		return true, "no trained model; serving from fallback"
+	}
+	if s.staleAfter > 0 && s.simulated-s.trainedAt > s.staleAfter {
+		return true, fmt.Sprintf("model stale: trained at hour %d, telemetry at hour %d", s.trainedAt, s.simulated)
+	}
+	return false, ""
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, map[string]any{
+	degraded, reason := s.degradedLocked()
+	body := map[string]any{
 		"status":           "ok",
 		"simulated_hour":   s.simulated,
 		"model_trained_at": s.trainedAt,
+		"model_age_hours":  s.simulated - s.trainedAt,
 		"model_ready":      s.model != nil,
-	})
+		"recovered":        s.recovered,
+		"fallbacks":        s.fallbacks,
+	}
+	s.mu.RUnlock()
+	if degraded {
+		body["status"] = "degraded"
+		body["reason"] = reason
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			log.Printf("write response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, body)
 }
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -180,6 +417,7 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 		"tuples":     s.tuples,
 		"trained_at": s.trainedAt,
 		"train_days": s.trainDays,
+		"recovered":  s.recovered,
 	})
 }
 
@@ -249,7 +487,10 @@ type predictRequest struct {
 
 type predictResponse struct {
 	Results []struct {
-		Flow  int `json:"flow"`
+		Flow int `json:"flow"`
+		// Model names the ladder rung that answered this flow:
+		// "ensemble", "historical", "geo", or "none".
+		Model string `json:"model"`
 		Links []struct {
 			Link  wan.LinkID `json:"link"`
 			Frac  float64    `json:"frac"`
@@ -270,13 +511,6 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 3
 	}
-	s.mu.RLock()
-	model := s.model
-	s.mu.RUnlock()
-	if model == nil {
-		http.Error(w, "model not ready", http.StatusServiceUnavailable)
-		return
-	}
 	excluded := make(map[wan.LinkID]bool, len(req.ExcludeLinks))
 	for _, l := range req.ExcludeLinks {
 		excluded[l] = true
@@ -293,12 +527,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			AS: bgp.ASN(f.SrcAS), Prefix: prefix, Loc: s.sim.GeoIP().Lookup(prefix),
 			Region: wan.Region(f.Region), Type: wan.ServiceType(f.Service),
 		}
-		preds := model.Predict(core.Query{
+		preds, rung := s.predict(core.Query{
 			Flow: flow, K: req.K,
 			Exclude: func(l wan.LinkID) bool { return excluded[l] },
 		})
 		var result struct {
-			Flow  int `json:"flow"`
+			Flow  int    `json:"flow"`
+			Model string `json:"model"`
 			Links []struct {
 				Link  wan.LinkID `json:"link"`
 				Frac  float64    `json:"frac"`
@@ -306,6 +541,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			} `json:"links"`
 		}
 		result.Flow = i
+		result.Model = rung
 		for _, p := range preds {
 			result.Links = append(result.Links, struct {
 				Link  wan.LinkID `json:"link"`

@@ -126,19 +126,19 @@ func main() {
 	collectorWG.Wait()
 	stationWG.Wait()
 
-	msgs, recs, lost := collector.Stats()
+	cs := collector.Stats()
 	fmt.Printf("IPFIX: exported %d flow records, decoded %d from %d messages (%d lost), sampling 1/%d announced\n",
-		exported, recs, msgs, lost, collector.SamplingInterval(1))
-	mon, ups, downs := station.Stats()
+		exported, cs.Records, cs.Messages, cs.Lost, collector.SamplingInterval(1))
+	ss := station.Stats()
 	fmt.Printf("BMP:   %d sessions, %d route monitoring messages, %d peer-ups, %d peer-downs\n",
-		station.NumSessions(), mon, ups, downs)
+		station.NumSessions(), ss.Monitored, ss.PeerUps, ss.PeerDowns)
 
 	// --- Train on what came off the wire -------------------------------
 	records := agg.Records()
 	model := core.TrainHistorical(features.SetAP, records, core.DefaultHistOpts())
 	fmt.Printf("pipeline: %d hourly aggregates -> %s with %d tuples\n",
 		len(records), model.Name(), model.NumTuples())
-	if int(recs) != exported || lost != 0 {
+	if int(cs.Records) != exported || cs.Lost != 0 {
 		log.Fatal("wire path lost records")
 	}
 	fmt.Println("wire-level ingestion path verified: router -> TCP -> collector -> pipeline -> model")

@@ -159,9 +159,8 @@ func TestStationLifecycle(t *testing.T) {
 	if st.SessionUp(key) {
 		t.Error("session should be down")
 	}
-	mon, ups, downs := st.Stats()
-	if mon != 2 || ups != 1 || downs != 1 {
-		t.Errorf("stats = %d %d %d", mon, ups, downs)
+	if s := st.Stats(); s.Monitored != 2 || s.PeerUps != 1 || s.PeerDowns != 1 {
+		t.Errorf("stats = %+v", s)
 	}
 }
 
@@ -185,9 +184,85 @@ func TestStationReadStream(t *testing.T) {
 	if err := st.ReadStream(9, &buf); err != nil {
 		t.Fatal(err)
 	}
-	mon, _, _ := st.Stats()
-	if mon != 2 {
-		t.Errorf("monitored = %d, want 2", mon)
+	if s := st.Stats(); s.Monitored != 2 {
+		t.Errorf("monitored = %d, want 2", s.Monitored)
+	}
+}
+
+func TestStationQuarantinesCorruptMessage(t *testing.T) {
+	st := NewStation()
+	good := sampleRM().Marshal()
+	bad := append([]byte(nil), good...)
+	bad[0] = 99 // impossible BMP version
+	if err := st.Handle(1, bad); err == nil {
+		t.Error("corrupt message should return an error")
+	}
+	if err := st.Handle(1, good); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Quarantined != 1 || s.Monitored != 1 {
+		t.Errorf("stats after quarantine = %+v", s)
+	}
+}
+
+func TestStationReadStreamSurvivesCorruptMessage(t *testing.T) {
+	// A correctly-framed message with a corrupt body is quarantined
+	// and the stream keeps going.
+	good := sampleRM().Marshal()
+	bad := append([]byte(nil), good...)
+	bad[5] = 200 // unknown message type; framing (version, length) intact
+	var buf bytes.Buffer
+	buf.Write(good)
+	buf.Write(bad)
+	buf.Write(good)
+	st := NewStation()
+	if err := st.ReadStream(3, &buf); err != nil {
+		t.Fatalf("stream aborted on a quarantinable message: %v", err)
+	}
+	s := st.Stats()
+	if s.Monitored != 2 || s.Quarantined != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStationRebootstrapsOnPeerUpAfterDown(t *testing.T) {
+	st := NewStation()
+	peer := samplePeer()
+	key := SessionKey{5, peer.AS, peer.Address}
+	up := &PeerUp{
+		Peer: peer, LocalAddr: 1, LocalPort: 179, RemotePort: 1000,
+		SentOpen: &bgp.Open{Version: 4, AS: 64500, BGPID: 1},
+		RecvOpen: &bgp.Open{Version: 4, AS: peer.AS, BGPID: 2},
+	}
+	rm := sampleRM()
+	pfx := rm.Update.NLRI[0]
+
+	st.Handle(5, up.Marshal())
+	st.Handle(5, rm.Marshal())
+	if st.Routes(key, pfx) == nil {
+		t.Fatal("route not learned")
+	}
+	// Session drops mid-stream: state must be discarded.
+	st.Handle(5, (&PeerDown{Peer: peer, Reason: ReasonRemoteNoNotification}).Marshal())
+	if st.SessionUp(key) || st.Routes(key, pfx) != nil {
+		t.Fatal("down session kept stale RIB state")
+	}
+	// Recovery: the next Peer Up re-bootstraps and the re-announced
+	// routes rebuild the view.
+	st.Handle(5, up.Marshal())
+	if !st.SessionUp(key) {
+		t.Fatal("session should be up after recovery")
+	}
+	if st.Routes(key, pfx) != nil {
+		t.Fatal("re-bootstrap must start from an empty RIB")
+	}
+	st.Handle(5, rm.Marshal())
+	if len(st.Routes(key, pfx)) != 2 {
+		t.Error("re-announced route not learned after re-bootstrap")
+	}
+	if s := st.Stats(); s.Resyncs != 1 {
+		t.Errorf("resyncs = %d, want 1", s.Resyncs)
 	}
 }
 

@@ -14,6 +14,18 @@ type SessionKey struct {
 	PeerAddr uint32
 }
 
+// StationStats counts what the station has processed. Quarantined
+// counts messages that failed to decode (corruption on the transport);
+// Resyncs counts Peer Ups that re-bootstrapped an already-known
+// session after a session-down, discarding any stale RIB state.
+type StationStats struct {
+	Monitored   uint64
+	PeerUps     uint64
+	PeerDowns   uint64
+	Quarantined uint64
+	Resyncs     uint64
+}
+
 // Station is a BMP monitoring station: it consumes BMP messages from
 // many routers and maintains the set of advertisements currently held
 // on each monitored session. This is the data-lake view the paper's
@@ -22,10 +34,7 @@ type Station struct {
 	mu       sync.Mutex
 	routers  map[uint32]string // router id -> sysname
 	sessions map[SessionKey]*sessionState
-	// counts
-	monitored uint64
-	peerUps   uint64
-	peerDowns uint64
+	stats    StationStats
 }
 
 type sessionState struct {
@@ -41,10 +50,16 @@ func NewStation() *Station {
 	}
 }
 
-// Handle processes one framed BMP message from the given router.
+// Handle processes one framed BMP message from the given router. A
+// message that fails to decode is quarantined — counted and reported,
+// but it does not poison the session state already held, so the caller
+// may keep feeding subsequent messages.
 func (s *Station) Handle(routerID uint32, buf []byte) error {
 	msg, err := Decode(buf)
 	if err != nil {
+		s.mu.Lock()
+		s.stats.Quarantined++
+		s.mu.Unlock()
 		return err
 	}
 	s.mu.Lock()
@@ -56,15 +71,21 @@ func (s *Station) Handle(routerID uint32, buf []byte) error {
 		delete(s.routers, routerID)
 	case *PeerUp:
 		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
+		if _, known := s.sessions[key]; known {
+			// The session went down mid-stream (or the Peer Up is a
+			// retransmission): re-bootstrap — drop whatever RIB state
+			// survived and rebuild from the announcements that follow.
+			s.stats.Resyncs++
+		}
 		s.sessions[key] = &sessionState{up: true, routes: make(map[bgp.Prefix][]bgp.ASN)}
-		s.peerUps++
+		s.stats.PeerUps++
 	case *PeerDown:
 		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
 		if st, ok := s.sessions[key]; ok {
 			st.up = false
 			st.routes = make(map[bgp.Prefix][]bgp.ASN)
 		}
-		s.peerDowns++
+		s.stats.PeerDowns++
 	case *RouteMonitoring:
 		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
 		st, ok := s.sessions[key]
@@ -80,12 +101,16 @@ func (s *Station) Handle(routerID uint32, buf []byte) error {
 		for _, p := range m.Update.NLRI {
 			st.routes[p] = append([]bgp.ASN(nil), m.Update.Attrs.ASPath...)
 		}
-		s.monitored++
+		s.stats.Monitored++
 	}
 	return nil
 }
 
-// ReadStream consumes framed BMP messages from r until EOF.
+// ReadStream consumes framed BMP messages from r until EOF. A message
+// that frames correctly but fails to decode is quarantined and the
+// stream continues; only framing loss (an unparseable length header,
+// after which message boundaries are unrecoverable) or a read error
+// aborts.
 func (s *Station) ReadStream(routerID uint32, r io.Reader) error {
 	hdr := make([]byte, commonHeaderLen)
 	for {
@@ -104,9 +129,9 @@ func (s *Station) ReadStream(routerID uint32, r io.Reader) error {
 		if _, err := io.ReadFull(r, msg[commonHeaderLen:]); err != nil {
 			return err
 		}
-		if err := s.Handle(routerID, msg); err != nil {
-			return err
-		}
+		// Decode failures are already counted in stats.Quarantined by
+		// Handle; the stream itself is still framed, so keep reading.
+		_ = s.Handle(routerID, msg)
 	}
 }
 
@@ -130,11 +155,11 @@ func (s *Station) SessionUp(key SessionKey) bool {
 	return ok && st.up
 }
 
-// Stats reports counts of processed messages.
-func (s *Station) Stats() (monitored, peerUps, peerDowns uint64) {
+// Stats returns a snapshot of the station's counters.
+func (s *Station) Stats() StationStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.monitored, s.peerUps, s.peerDowns
+	return s.stats
 }
 
 // NumSessions reports how many sessions the station has seen.

@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// feed pushes n distinct 32-byte messages through a link built from
+// cfg and returns the delivered payloads in order.
+func feed(cfg Config, n int) ([][]byte, Stats) {
+	var got [][]byte
+	l := NewLink(cfg, func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+	msg := make([]byte, 32)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(msg, uint32(i))
+		l.Send(msg)
+	}
+	l.Flush()
+	return got, l.Stats()
+}
+
+func TestFaultlessLinkIsTransparent(t *testing.T) {
+	got, st := feed(Config{Seed: 1}, 100)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d of 100", len(got))
+	}
+	for i, m := range got {
+		if binary.BigEndian.Uint32(m) != uint32(i) {
+			t.Fatalf("message %d out of order or mutated", i)
+		}
+	}
+	if st.Dropped+st.Duplicated+st.Reordered+st.Corrupted+st.Truncated+st.Delayed != 0 {
+		t.Errorf("faultless link reported faults: %+v", st)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.05, Dup: 0.05, Reorder: 0.1, Corrupt: 0.05, Truncate: 0.05, Delay: 0.02}
+	a, sa := feed(cfg, 500)
+	b, sb := feed(cfg, 500)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("delivery streams diverged for the same seed")
+	}
+	// A different seed must produce a different schedule.
+	cfg.Seed = 43
+	c, _ := feed(cfg, 500)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestEveryFaultTypeFires(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.1, Dup: 0.1, Reorder: 0.1, Corrupt: 0.1, Truncate: 0.1, Delay: 0.1}
+	got, st := feed(cfg, 1000)
+	for name, v := range map[string]uint64{
+		"drop": st.Dropped, "dup": st.Duplicated, "reorder": st.Reordered,
+		"corrupt": st.Corrupted, "truncate": st.Truncated, "delay": st.Delayed,
+	} {
+		if v == 0 {
+			t.Errorf("%s never fired in 1000 messages at 10%%", name)
+		}
+	}
+	if st.Sent != 1000 {
+		t.Errorf("sent = %d", st.Sent)
+	}
+	// Conservation: delivered = sent - dropped + duplicated.
+	if want := st.Sent - st.Dropped + st.Duplicated; st.Delivered != want {
+		t.Errorf("delivered %d, want %d (sent - dropped + duplicated)", st.Delivered, want)
+	}
+	if uint64(len(got)) != st.Delivered {
+		t.Errorf("callback saw %d messages, stats say %d", len(got), st.Delivered)
+	}
+}
+
+func TestReorderIsBounded(t *testing.T) {
+	cfg := Config{Seed: 3, Reorder: 0.3, ReorderDepth: 4}
+	got, st := feed(cfg, 400)
+	if st.Reordered == 0 {
+		t.Fatal("no reorders at 30%")
+	}
+	if len(got) != 400 {
+		t.Fatalf("reorder lost messages: %d of 400", len(got))
+	}
+	// Every message arrives, and none is displaced beyond the buffer
+	// depth plus the messages reordered around it.
+	seen := make(map[uint32]int, len(got))
+	for pos, m := range got {
+		seen[binary.BigEndian.Uint32(m)] = pos
+	}
+	for i := 0; i < 400; i++ {
+		pos, ok := seen[uint32(i)]
+		if !ok {
+			t.Fatalf("message %d never delivered", i)
+		}
+		if d := pos - i; d > 2*cfg.ReorderDepth || d < -2*cfg.ReorderDepth {
+			t.Errorf("message %d displaced by %d, beyond bound", i, d)
+		}
+	}
+}
+
+func TestCorruptionMutatesExactlyOneByte(t *testing.T) {
+	var got [][]byte
+	l := NewLink(Config{Seed: 9, Corrupt: 1}, func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	l.Send(orig)
+	if len(got) != 1 {
+		t.Fatal("message not delivered")
+	}
+	diff := 0
+	for i := range orig {
+		if got[0][i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	if !bytes.Equal(orig, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+}
+
+func TestTruncationShortensMessage(t *testing.T) {
+	var got [][]byte
+	l := NewLink(Config{Seed: 11, Truncate: 1}, func(m []byte) { got = append(got, m) })
+	l.Send(make([]byte, 100))
+	if len(got) != 1 || len(got[0]) >= 100 || len(got[0]) < 1 {
+		t.Fatalf("truncated length %d, want in [1, 99]", len(got[0]))
+	}
+}
+
+func TestFlushDrainsHeld(t *testing.T) {
+	delivered := 0
+	l := NewLink(Config{Seed: 5, Delay: 1, DelayMax: 1000}, func([]byte) { delivered++ })
+	for i := 0; i < 10; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	if l.Pending() == 0 {
+		t.Fatal("nothing held despite 100% delay")
+	}
+	l.Flush()
+	if l.Pending() != 0 || delivered != 10 {
+		t.Fatalf("flush left %d pending, delivered %d of 10", l.Pending(), delivered)
+	}
+}
+
+func TestForKeySplitsSchedules(t *testing.T) {
+	base := Config{Seed: 77, Drop: 0.2}
+	a, _ := feed(base.ForKey(1), 300)
+	b, _ := feed(base.ForKey(2), 300)
+	if reflect.DeepEqual(a, b) {
+		t.Error("per-key schedules identical; seeds not split")
+	}
+	a2, _ := feed(base.ForKey(1), 300)
+	if !reflect.DeepEqual(a, a2) {
+		t.Error("per-key schedule not reproducible")
+	}
+}
+
+func TestWriterAdapter(t *testing.T) {
+	var got [][]byte
+	l := NewLink(Config{Seed: 1}, func(m []byte) { got = append(got, m) })
+	w := l.Writer()
+	for i := 0; i < 3; i++ {
+		n, err := fmt.Fprintf(w, "msg-%d", i)
+		if err != nil || n != 5 {
+			t.Fatalf("write: n=%d err=%v", n, err)
+		}
+	}
+	if len(got) != 3 || string(got[2]) != "msg-2" {
+		t.Fatalf("writer adapter delivered %q", got)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// GeoNearest is a training-free predictor: rank the WAN's peering
+// links by geographic distance from the flow's source location and
+// bet on the nearest ones, preferring the source AS's own links at
+// equal distance. It knows nothing about observed traffic, so its
+// accuracy is far below the historical models — it exists as the
+// last rung of a degraded serving ladder, answering when no trained
+// model can (features missing from training, models lost, or a
+// process serving before its first retrain completes).
+type GeoNearest struct {
+	links  wan.Directory
+	metros *geo.DB
+}
+
+// NewGeoNearest builds the fallback over the WAN's link directory.
+func NewGeoNearest(links wan.Directory, metros *geo.DB) *GeoNearest {
+	return &GeoNearest{links: links, metros: metros}
+}
+
+// Name implements Predictor.
+func (g *GeoNearest) Name() string { return "GeoNearest" }
+
+// Predict implements Predictor. Candidates are every non-excluded
+// link, ordered by (not direct-peer, distance, ID) — the source AS's
+// own interconnects first, then anyone else's nearby ones, mirroring
+// the hot-potato intuition that traffic enters close to where it
+// originates. Fractions decay geometrically down the ranking.
+func (g *GeoNearest) Predict(q Query) []Prediction {
+	type cand struct {
+		id      wan.LinkID
+		foreign bool // not a link of the flow's own AS
+		d       float64
+	}
+	var cands []cand
+	for _, id := range g.links.Links() {
+		if q.excluded(id) {
+			continue
+		}
+		l, ok := g.links.Link(id)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{
+			id:      id,
+			foreign: l.PeerAS != q.Flow.AS,
+			d:       g.metros.Distance(q.Flow.Loc, l.Metro),
+		})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].foreign != cands[j].foreign {
+			return !cands[i].foreign
+		}
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	// Only the head of the ranking means anything; keep it short even
+	// for unrestricted queries so fractions stay non-degenerate.
+	max := q.K
+	if max <= 0 || max > 16 {
+		max = 16
+	}
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	preds := make([]Prediction, len(cands))
+	w := 1.0
+	for i, c := range cands {
+		preds[i] = Prediction{Link: c.id, Frac: w}
+		w *= 0.5
+	}
+	return topK(preds, q.K)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+func geoNearestSetup() (*GeoNearest, *staticDir) {
+	metros := geo.World()
+	dir := &staticDir{links: map[wan.LinkID]wan.Link{
+		1: {ID: 1, Metro: 1, PeerAS: 5},
+		2: {ID: 2, Metro: 2, PeerAS: 5},
+		3: {ID: 3, Metro: 40, PeerAS: 5},
+		4: {ID: 4, Metro: 1, PeerAS: 6},
+	}}
+	return NewGeoNearest(dir, metros), dir
+}
+
+func TestGeoNearestPrefersOwnNearbyLinks(t *testing.T) {
+	g, _ := geoNearestSetup()
+	if g.Name() != "GeoNearest" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// AS 5, located at metro 1: its own link in metro 1 ranks first,
+	// the other AS's co-located link comes after all of AS 5's.
+	f := flow(5, 0, 1, 1, 1)
+	preds := g.Predict(Query{Flow: f, K: 4})
+	checkNormalized(t, preds)
+	if len(preds) != 4 {
+		t.Fatalf("got %d predictions, want 4", len(preds))
+	}
+	if preds[0].Link != 1 {
+		t.Errorf("nearest own link should rank first: %+v", preds)
+	}
+	if preds[3].Link != 4 {
+		t.Errorf("foreign link should rank last: %+v", preds)
+	}
+}
+
+func TestGeoNearestHonoursExclusions(t *testing.T) {
+	g, _ := geoNearestSetup()
+	f := flow(5, 0, 1, 1, 1)
+	preds := g.Predict(Query{Flow: f, K: 3, Exclude: func(l wan.LinkID) bool { return l == 1 }})
+	checkNormalized(t, preds)
+	for _, p := range preds {
+		if p.Link == 1 {
+			t.Fatalf("excluded link predicted: %+v", preds)
+		}
+	}
+	if len(preds) == 0 {
+		t.Fatal("fallback must still answer with the excluded link gone")
+	}
+}
+
+func TestGeoNearestAlwaysAnswersAndIsDeterministic(t *testing.T) {
+	g, _ := geoNearestSetup()
+	// A flow from an AS with no links of its own, at an arbitrary
+	// metro: the fallback must still produce a ranking, and the same
+	// query must produce the same answer.
+	f := flow(999, 0, 17, 2, 0)
+	a := g.Predict(Query{Flow: f, K: 3})
+	b := g.Predict(Query{Flow: f, K: 3})
+	if len(a) == 0 {
+		t.Fatal("no answer for a model-less flow")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GeoNearest not deterministic")
+	}
+}

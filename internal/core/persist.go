@@ -1,12 +1,97 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"tipsy/internal/features"
+	"tipsy/internal/wan"
 )
+
+// Snapshot load errors. ErrBadSnapshot means the bytes were never a
+// snapshot (wrong magic); ErrCorruptSnapshot means a snapshot that was
+// damaged in storage or cut short by a crash mid-write.
+var (
+	ErrBadSnapshot     = errors.New("core: not a model snapshot")
+	ErrCorruptSnapshot = errors.New("core: corrupt model snapshot")
+)
+
+// Snapshots are framed so a loader can tell a truncated or damaged
+// file from a valid one before handing bytes to gob: an 8-byte magic
+// (distinct per snapshot kind — gob alone cannot tell a model from a
+// checkpoint, since it matches struct fields by name), the payload
+// length, and a CRC-32 of the payload.
+const (
+	modelMagic       = "TIPSYML1"
+	checkpointMagic  = "TIPSYCK1"
+	frameHeaderLen   = 8 + 8 + 4
+	maxSnapshotBytes = 1 << 32 // sanity cap against garbage length fields
+)
+
+func writeFrame(w io.Writer, magic string, payload []byte) error {
+	hdr := make([]byte, 0, frameHeaderLen)
+	hdr = append(hdr, magic...)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, magic string) ([]byte, error) {
+	hdr := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptSnapshot, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptSnapshot, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[16:20]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptSnapshot)
+	}
+	return payload, nil
+}
+
+// writeFileAtomic writes via a temp file in the destination directory
+// and renames it into place, so a crash mid-write leaves either the
+// old file or the new one — never a torn snapshot at the final path.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 // histSnapshot is the serialized form of a Historical model.
 type histSnapshot struct {
@@ -17,25 +102,127 @@ type histSnapshot struct {
 
 const snapshotVersion = 1
 
-// Save writes the model to w in a self-describing binary form, so a
-// daily-retrained model can be produced by one process (or machine)
-// and served by another.
-func (h *Historical) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(histSnapshot{
-		Version: snapshotVersion,
-		Set:     h.set,
-		Table:   h.table,
-	})
+func (h *Historical) snapshot() histSnapshot {
+	return histSnapshot{Version: snapshotVersion, Set: h.set, Table: h.table}
 }
 
-// LoadHistorical reads a model previously written with Save.
-func LoadHistorical(r io.Reader) (*Historical, error) {
-	var snap histSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: load historical: %w", err)
-	}
+func restoreHistorical(snap histSnapshot) (*Historical, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d", snap.Version)
 	}
 	return &Historical{set: snap.Set, table: snap.Table}, nil
+}
+
+// Save writes the model to w in a self-describing binary form, so a
+// daily-retrained model can be produced by one process (or machine)
+// and served by another. The frame carries a checksum, so a loader
+// can reject torn or damaged snapshots instead of serving from them.
+func (h *Historical) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h.snapshot()); err != nil {
+		return err
+	}
+	return writeFrame(w, modelMagic, buf.Bytes())
+}
+
+// SaveFile atomically writes the model to path: the bytes land in a
+// temp file first and are renamed into place, so a crash mid-write
+// never leaves a torn file where a serving process would look.
+func (h *Historical) SaveFile(path string) error {
+	return writeFileAtomic(path, h.Save)
+}
+
+// LoadHistorical reads a model previously written with Save. It
+// rejects truncated or damaged input with a descriptive error rather
+// than returning a silently incomplete model.
+func LoadHistorical(r io.Reader) (*Historical, error) {
+	payload, err := readFrame(r, modelMagic)
+	if err != nil {
+		return nil, fmt.Errorf("core: load historical: %w", err)
+	}
+	var snap histSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load historical: %w: %v", ErrCorruptSnapshot, err)
+	}
+	return restoreHistorical(snap)
+}
+
+// LoadHistoricalFile reads a model from a file written by SaveFile.
+func LoadHistoricalFile(path string) (*Historical, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadHistorical(f)
+}
+
+// Checkpoint is a restartable serving state: the set of Historical
+// models a daemon had trained, stamped with the simulated hour the
+// training window ended at, so a restarted process knows how stale
+// the recovered models are.
+type Checkpoint struct {
+	TrainedAt wan.Hour
+	Models    []*Historical
+}
+
+type checkpointSnapshot struct {
+	Version   int
+	TrainedAt int32
+	Models    []histSnapshot
+}
+
+// Save writes the checkpoint in the same framed, checksummed form as
+// a single model snapshot.
+func (c *Checkpoint) Save(w io.Writer) error {
+	snap := checkpointSnapshot{Version: snapshotVersion, TrainedAt: int32(c.TrainedAt)}
+	for _, m := range c.Models {
+		snap.Models = append(snap.Models, m.snapshot())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return err
+	}
+	return writeFrame(w, checkpointMagic, buf.Bytes())
+}
+
+// SaveFile atomically writes the checkpoint to path.
+func (c *Checkpoint) SaveFile(path string) error {
+	return writeFileAtomic(path, c.Save)
+}
+
+// LoadCheckpoint reads a checkpoint previously written with Save,
+// rejecting truncated or damaged input.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	payload, err := readFrame(r, checkpointMagic)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	var snap checkpointSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w: %v", ErrCorruptSnapshot, err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", snap.Version)
+	}
+	c := &Checkpoint{TrainedAt: wan.Hour(snap.TrainedAt)}
+	for _, ms := range snap.Models {
+		m, err := restoreHistorical(ms)
+		if err != nil {
+			return nil, err
+		}
+		c.Models = append(c.Models, m)
+	}
+	return c, nil
+}
+
+// LoadCheckpointFile reads a checkpoint from a file written by
+// SaveFile.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
 }

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -48,5 +51,113 @@ func TestHistoricalSaveLoad(t *testing.T) {
 func TestLoadHistoricalRejectsGarbage(t *testing.T) {
 	if _, err := LoadHistorical(bytes.NewReader([]byte("not a model"))); err == nil {
 		t.Error("garbage should not load")
+	}
+	// Longer garbage that could swallow a whole frame header.
+	junk := bytes.Repeat([]byte{0xA5}, 4096)
+	if _, err := LoadHistorical(bytes.NewReader(junk)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func savedModel(t *testing.T) (*Historical, []byte) {
+	t.Helper()
+	f1 := flow(64496, 0x0b000100, 3, 9, 1)
+	recs := []features.Record{rec(f1, 1, 700), rec(f1, 2, 300)}
+	h := TrainHistorical(features.SetAP, recs, DefaultHistOpts())
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return h, buf.Bytes()
+}
+
+func TestLoadHistoricalRejectsTruncation(t *testing.T) {
+	// Every proper prefix of a valid snapshot must fail descriptively —
+	// the shape a crash mid-write (without atomic rename) would leave.
+	_, full := savedModel(t)
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := LoadHistorical(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d loaded successfully", cut, len(full))
+		}
+	}
+}
+
+func TestLoadHistoricalRejectsBitrot(t *testing.T) {
+	_, full := savedModel(t)
+	// Flip one payload byte: the checksum must catch it.
+	rotten := append([]byte(nil), full...)
+	rotten[len(rotten)-3] ^= 0x40
+	if _, err := LoadHistorical(bytes.NewReader(rotten)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	h, _ := savedModel(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second save: rename must replace in place.
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadHistoricalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTuples() != h.NumTuples() {
+		t.Errorf("tuples = %d, want %d", back.NumTuples(), h.NumTuples())
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the model", len(entries))
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	f1 := flow(64496, 0x0b000100, 3, 9, 1)
+	f2 := flow(174, 0x0b000200, 5, 9, 2)
+	recs := []features.Record{rec(f1, 1, 700), rec(f1, 2, 300), rec(f2, 9, 50)}
+	ck := &Checkpoint{
+		TrainedAt: 96,
+		Models: []*Historical{
+			TrainHistorical(features.SetAP, recs, DefaultHistOpts()),
+			TrainHistorical(features.SetA, recs, DefaultHistOpts()),
+		},
+	}
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := ck.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TrainedAt != 96 || len(back.Models) != 2 {
+		t.Fatalf("checkpoint metadata: trainedAt=%d models=%d", back.TrainedAt, len(back.Models))
+	}
+	for i, m := range back.Models {
+		if m.Name() != ck.Models[i].Name() {
+			t.Errorf("model %d is %s, want %s", i, m.Name(), ck.Models[i].Name())
+		}
+		a := ck.Models[i].Predict(Query{Flow: f1, K: 3})
+		b := m.Predict(Query{Flow: f1, K: 3})
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("model %d predictions diverge after checkpoint round trip", i)
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsModelSnapshot(t *testing.T) {
+	// A plain model file is framed identically; the gob payload must
+	// still refuse to masquerade as a checkpoint.
+	_, raw := savedModel(t)
+	if _, err := LoadCheckpoint(bytes.NewReader(raw)); err == nil {
+		t.Error("model snapshot loaded as a checkpoint")
 	}
 }

@@ -1,88 +1,266 @@
 package ipfix
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"sync"
 )
 
+// maxPendingSets bounds, per observation domain, how many data sets
+// the collector buffers while waiting for their template. Overflow
+// evicts the oldest buffered set.
+const maxPendingSets = 256
+
+// maxTrackedGaps bounds, per observation domain, how many sequence
+// gaps the collector remembers for reorder/loss disambiguation.
+const maxTrackedGaps = 64
+
+// CollectorStats is a snapshot of the collector's counters.
+type CollectorStats struct {
+	// Messages is the number of messages decoded successfully.
+	Messages uint64
+	// Records is the number of flow records handed to the callback.
+	Records uint64
+	// Lost is the net count of data records presumed lost to
+	// sequence gaps: gaps opened minus gaps later back-filled by
+	// reordered arrivals.
+	Lost uint64
+	// Reordered counts messages whose sequence number was behind the
+	// expected one — late, duplicated, or re-transmitted traffic that
+	// a naive counter would have booked as a ~2^32 record loss.
+	Reordered uint64
+	// Quarantined counts malformed inputs: messages that failed to
+	// decode and individual records that failed to unmarshal. They
+	// are counted and skipped, never fatal.
+	Quarantined uint64
+	// Buffered counts data sets parked because their template had
+	// not arrived yet; Replayed counts the ones decoded after the
+	// template showed up. Evicted counts sets dropped when the
+	// pending buffer overflowed.
+	Buffered, Replayed, Evicted uint64
+}
+
+// seqGap is a half-open range [start, start+count) of sequence
+// numbers whose records were presumed lost.
+type seqGap struct {
+	start uint32
+	count uint32
+}
+
+// domainState is the collector's per-observation-domain decode state.
+type domainState struct {
+	templates map[uint16]Template
+	haveSeq   bool
+	nextSeq   uint32   // sequence number expected on the next message
+	gaps      []seqGap // open loss gaps, oldest first
+	pending   []RawSet // data sets awaiting their template
+	sampling  uint32   // announced sampling interval
+}
+
 // Collector is an IPFIX collecting process. It consumes framed
 // messages (one or many exporters can share it if their domains
 // differ), tracks templates per observation domain, and hands decoded
 // flow records to a callback. It is the receiving end of the paper's
-// "distributed collectors that consolidate the flow data".
+// "distributed collectors that consolidate the flow data", and it is
+// built to survive a faulty transport: malformed messages are
+// quarantined (counted, never fatal), data sets that overtake their
+// template are buffered and replayed when the template arrives, and
+// reordered messages are distinguished from genuine loss.
 type Collector struct {
-	mu        sync.Mutex
-	templates map[uint32]map[uint16]Template // domain -> template id -> template
-	// Stats
-	messages uint64
-	records  uint64
-	lost     uint64 // sequence gaps observed
-	lastSeq  map[uint32]uint32
-	haveSeq  map[uint32]bool
-	sampling map[uint32]uint32 // domain -> announced sampling interval
+	mu      sync.Mutex
+	domains map[uint32]*domainState
+	stats   CollectorStats
 }
 
 // NewCollector creates an empty collector.
 func NewCollector() *Collector {
-	return &Collector{
-		templates: make(map[uint32]map[uint16]Template),
-		lastSeq:   make(map[uint32]uint32),
-		haveSeq:   make(map[uint32]bool),
-		sampling:  make(map[uint32]uint32),
+	return &Collector{domains: make(map[uint32]*domainState)}
+}
+
+// domain returns (creating if needed) the state for one observation
+// domain. Callers hold c.mu.
+func (c *Collector) domain(id uint32) *domainState {
+	d := c.domains[id]
+	if d == nil {
+		d = &domainState{templates: make(map[uint16]Template)}
+		c.domains[id] = d
 	}
+	return d
 }
 
 // HandleMessage decodes one framed message and invokes fn for each
-// flow record in it.
+// flow record in it. A malformed message is quarantined: the error is
+// returned for observability, but the collector remains consistent
+// and the next message is processed normally.
 func (c *Collector) HandleMessage(buf []byte, fn func(domain uint32, rec FlowRecord)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// Peek the domain to select the template table.
 	if len(buf) < msgHeaderLen {
+		c.stats.Quarantined++
 		return ErrShortMessage
 	}
-	domain := uint32(buf[12])<<24 | uint32(buf[13])<<16 | uint32(buf[14])<<8 | uint32(buf[15])
-	tmpl := c.templates[domain]
-	if tmpl == nil {
-		tmpl = make(map[uint16]Template)
-		c.templates[domain] = tmpl
-	}
-	msg, err := Decode(buf, tmpl)
+	// Peek the domain to select the template table.
+	id := uint32(buf[12])<<24 | uint32(buf[13])<<16 | uint32(buf[14])<<8 | uint32(buf[15])
+	d := c.domain(id)
+	msg, err := Decode(buf, d.templates)
 	if err != nil {
+		c.stats.Quarantined++
 		return err
 	}
-	if c.haveSeq[domain] && msg.Header.Sequence != c.lastSeq[domain] {
-		// RFC 7011 sequence numbers count exported data records;
-		// a gap means loss in transit.
-		c.lost += uint64(msg.Header.Sequence - c.lastSeq[domain])
-	}
-	c.lastSeq[domain] = msg.Header.Sequence + uint32(len(msg.Records))
-	c.haveSeq[domain] = true
-	c.messages++
+	c.accountSequence(d, msg)
+	c.stats.Messages++
 	for _, dr := range msg.Records {
-		if dr.TemplateID == SamplingTemplateID && len(dr.Data) == 4 {
-			c.sampling[domain] = uint32(dr.Data[0])<<24 | uint32(dr.Data[1])<<16 |
-				uint32(dr.Data[2])<<8 | uint32(dr.Data[3])
-			continue
-		}
-		if dr.TemplateID != FlowTemplateID {
-			continue
-		}
-		rec, err := UnmarshalFlowRecord(dr.Data)
-		if err != nil {
-			return err
-		}
-		c.records++
-		fn(domain, rec)
+		c.processRecord(d, id, dr, fn)
+	}
+	for _, raw := range msg.Unknown {
+		c.bufferPending(d, raw)
+	}
+	if len(msg.Templates) > 0 {
+		c.replayPending(d, id, fn)
 	}
 	return nil
 }
 
+// accountSequence updates loss/reorder accounting for one decoded
+// message. RFC 7011 sequence numbers count exported data records; the
+// naive uint32 subtraction would book a reordered (backward) message
+// as a ~2^32 record loss, so the signed 32-bit difference is used:
+// it classifies backward jumps as reorders and handles genuine
+// wraparound at 2^32 transparently.
+func (c *Collector) accountSequence(d *domainState, msg *Message) {
+	n := uint32(len(msg.Records))
+	seq := msg.Header.Sequence
+	if !d.haveSeq {
+		d.haveSeq = true
+		d.nextSeq = seq + n
+		return
+	}
+	switch diff := int32(seq - d.nextSeq); {
+	case diff > 0:
+		// Records [nextSeq, seq) never arrived — presumed lost until
+		// a reordered message back-fills the gap.
+		c.stats.Lost += uint64(diff)
+		d.gaps = append(d.gaps, seqGap{start: d.nextSeq, count: uint32(diff)})
+		if len(d.gaps) > maxTrackedGaps {
+			d.gaps = d.gaps[len(d.gaps)-maxTrackedGaps:]
+		}
+		d.nextSeq = seq + n
+	case diff < 0:
+		// A message from the past: reordered, duplicated, or
+		// retransmitted. If it covers an open gap, those records were
+		// never lost after all.
+		c.stats.Reordered++
+		c.refillGaps(d, seq, n)
+		if int32(seq+n-d.nextSeq) > 0 {
+			d.nextSeq = seq + n
+		}
+	default:
+		d.nextSeq = seq + n
+	}
+}
+
+// refillGaps subtracts the arrived range [seq, seq+n) from the open
+// loss gaps, crediting Lost back for records that were merely late.
+func (c *Collector) refillGaps(d *domainState, seq, n uint32) {
+	if n == 0 {
+		return
+	}
+	var kept []seqGap
+	for _, g := range d.gaps {
+		// Overlap of [seq, seq+n) with [g.start, g.start+g.count),
+		// computed as signed offsets relative to g.start so sequence
+		// wraparound cancels out.
+		lo := int64(int32(seq - g.start))
+		hi := lo + int64(n)
+		if hi <= 0 || lo >= int64(g.count) {
+			kept = append(kept, g) // no overlap
+			continue
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > int64(g.count) {
+			hi = int64(g.count)
+		}
+		covered := uint32(hi - lo)
+		c.stats.Lost -= uint64(covered)
+		// The gap may split into a head and a tail remainder.
+		if lo > 0 {
+			kept = append(kept, seqGap{start: g.start, count: uint32(lo)})
+		}
+		if uint32(hi) < g.count {
+			kept = append(kept, seqGap{start: g.start + uint32(hi), count: g.count - uint32(hi)})
+		}
+	}
+	d.gaps = kept
+}
+
+// processRecord dispatches one decoded data record: sampling options
+// records update the domain's announced interval, flow records are
+// unmarshalled and handed to the callback, and records that fail to
+// unmarshal are quarantined.
+func (c *Collector) processRecord(d *domainState, id uint32, dr DataRecord, fn func(uint32, FlowRecord)) {
+	if dr.TemplateID == SamplingTemplateID && len(dr.Data) == 4 {
+		d.sampling = uint32(dr.Data[0])<<24 | uint32(dr.Data[1])<<16 |
+			uint32(dr.Data[2])<<8 | uint32(dr.Data[3])
+		return
+	}
+	if dr.TemplateID != FlowTemplateID {
+		return
+	}
+	rec, err := UnmarshalFlowRecord(dr.Data)
+	if err != nil {
+		c.stats.Quarantined++
+		return
+	}
+	c.stats.Records++
+	fn(id, rec)
+}
+
+// bufferPending parks a data set whose template has not arrived,
+// bounded by maxPendingSets per domain.
+func (c *Collector) bufferPending(d *domainState, raw RawSet) {
+	body := append([]byte(nil), raw.Body...) // Body aliases the message buffer
+	d.pending = append(d.pending, RawSet{SetID: raw.SetID, Body: body})
+	c.stats.Buffered++
+	if len(d.pending) > maxPendingSets {
+		d.pending = d.pending[1:]
+		c.stats.Evicted++
+	}
+}
+
+// replayPending re-decodes buffered data sets after new templates
+// arrived — the resync point for sets that overtook their template.
+func (c *Collector) replayPending(d *domainState, id uint32, fn func(uint32, FlowRecord)) {
+	var still []RawSet
+	for _, raw := range d.pending {
+		t, ok := d.templates[raw.SetID]
+		if !ok {
+			still = append(still, raw)
+			continue
+		}
+		c.stats.Replayed++
+		rl := t.RecordLen()
+		if rl == 0 {
+			c.stats.Quarantined++
+			continue
+		}
+		body := raw.Body
+		for len(body) >= rl {
+			c.processRecord(d, id, DataRecord{TemplateID: raw.SetID, Data: body[:rl]}, fn)
+			body = body[rl:]
+		}
+	}
+	d.pending = still
+}
+
 // ReadStream consumes a stream of back-to-back framed messages from r
 // until EOF, invoking fn per record. It is used when collectors are
-// attached to routers over TCP.
+// attached to routers over TCP. Per-message decode failures are
+// quarantined and the stream continues — only a framing failure,
+// after which message boundaries are unrecoverable, aborts.
 func (c *Collector) ReadStream(r io.Reader, fn func(domain uint32, rec FlowRecord)) error {
 	hdr := make([]byte, 4)
 	for {
@@ -94,16 +272,16 @@ func (c *Collector) ReadStream(r io.Reader, fn func(domain uint32, rec FlowRecor
 		}
 		total := WireLen(hdr)
 		if total < msgHeaderLen {
-			return ErrShortMessage
+			return fmt.Errorf("%w: stream framing lost", ErrShortMessage)
 		}
 		msg := make([]byte, total)
 		copy(msg, hdr)
 		if _, err := io.ReadFull(r, msg[4:]); err != nil {
 			return err
 		}
-		if err := c.HandleMessage(msg, fn); err != nil {
-			return err
-		}
+		// Quarantined messages are counted inside HandleMessage; the
+		// stream itself is still framed, so keep reading.
+		_ = c.HandleMessage(msg, fn)
 	}
 }
 
@@ -112,15 +290,28 @@ func (c *Collector) ReadStream(r io.Reader, fn func(domain uint32, rec FlowRecor
 func (c *Collector) SamplingInterval(domain uint32) uint32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sampling[domain]
+	if d := c.domains[domain]; d != nil {
+		return d.sampling
+	}
+	return 0
 }
 
-// Stats reports messages and records decoded and records lost to
-// sequence gaps.
-func (c *Collector) Stats() (messages, records, lost uint64) {
+// PendingSets reports how many data sets a domain has parked waiting
+// for their template.
+func (c *Collector) PendingSets(domain uint32) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.messages, c.records, c.lost
+	if d := c.domains[domain]; d != nil {
+		return len(d.pending)
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Sampler models the edge routers' random packet sampling: each

@@ -43,9 +43,8 @@ const (
 
 // Errors returned by the decoder.
 var (
-	ErrShortMessage    = errors.New("ipfix: truncated message")
-	ErrBadVersion      = errors.New("ipfix: unsupported version")
-	ErrUnknownTemplate = errors.New("ipfix: data set references unknown template")
+	ErrShortMessage = errors.New("ipfix: truncated message")
+	ErrBadVersion   = errors.New("ipfix: unsupported version")
 )
 
 // FieldSpec describes one field of a template record.
@@ -86,12 +85,25 @@ type Message struct {
 	// Records holds raw data records paired with the template that
 	// describes them.
 	Records []DataRecord
+	// Unknown holds data sets that referenced templates the decoder
+	// does not know — they arrived before their template.
+	Unknown []RawSet
 }
 
 // DataRecord is one raw data record with its template.
 type DataRecord struct {
 	TemplateID uint16
 	Data       []byte
+}
+
+// RawSet is a data set whose template the decoder has not seen yet.
+// Over an unreliable transport a data set legitimately overtakes the
+// template set describing it, so the decoder hands the raw body back
+// instead of failing; the collector buffers it until the template
+// arrives (RFC 7011 §8 template management).
+type RawSet struct {
+	SetID uint16
+	Body  []byte
 }
 
 // marshalMessage frames a full IPFIX message from pre-encoded sets.
@@ -204,7 +216,8 @@ func Decode(buf []byte, templates map[uint16]Template) (*Message, error) {
 		case setID >= MinDataSetID:
 			t, ok := templates[setID]
 			if !ok {
-				return nil, fmt.Errorf("%w: %d", ErrUnknownTemplate, setID)
+				msg.Unknown = append(msg.Unknown, RawSet{SetID: setID, Body: body})
+				break
 			}
 			rl := t.RecordLen()
 			if rl == 0 {

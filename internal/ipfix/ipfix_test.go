@@ -92,12 +92,12 @@ func TestExporterCollectorRoundTrip(t *testing.T) {
 			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
 		}
 	}
-	msgs, recs, lost := col.Stats()
-	if recs != 100 || lost != 0 {
-		t.Errorf("stats: msgs=%d recs=%d lost=%d", msgs, recs, lost)
+	st := col.Stats()
+	if st.Records != 100 || st.Lost != 0 {
+		t.Errorf("stats: %+v", st)
 	}
-	if msgs < 2 {
-		t.Errorf("100 records should span multiple messages under the MTU cap, got %d", msgs)
+	if st.Messages < 2 {
+		t.Errorf("100 records should span multiple messages under the MTU cap, got %d", st.Messages)
 	}
 }
 
@@ -154,19 +154,222 @@ func TestCollectorDetectsLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, _, lost := col.Stats()
-	if lost == 0 {
+	if st := col.Stats(); st.Lost == 0 {
 		t.Error("dropped message should register as sequence loss")
 	}
 }
 
-func TestCollectorUnknownTemplate(t *testing.T) {
-	// A data set arriving before any template must fail cleanly.
-	set := marshalDataSet(FlowTemplateID, [][]byte{sampleRecord(0).Marshal()})
-	msg := marshalMessage(0, 0, 5, [][]byte{set})
+func TestCollectorBuffersDataBeforeTemplate(t *testing.T) {
+	// A data set arriving before its template is parked, not fatal,
+	// and replays once the template set shows up.
+	rec := sampleRecord(0)
+	data := marshalMessage(0, 0, 5, [][]byte{
+		marshalDataSet(FlowTemplateID, [][]byte{rec.Marshal()}),
+	})
 	col := NewCollector()
-	if err := col.HandleMessage(msg, func(uint32, FlowRecord) {}); err == nil {
-		t.Error("data without template should error")
+	var got []FlowRecord
+	fn := func(_ uint32, r FlowRecord) { got = append(got, r) }
+	if err := col.HandleMessage(data, fn); err != nil {
+		t.Fatalf("data before template should not be fatal: %v", err)
+	}
+	if len(got) != 0 || col.PendingSets(5) != 1 {
+		t.Fatalf("expected 1 buffered set and no records, got %d records, %d pending",
+			len(got), col.PendingSets(5))
+	}
+	tmplMsg := marshalMessage(0, 1, 5, [][]byte{
+		marshalTemplateSet([]Template{FlowTemplate()}),
+	})
+	if err := col.HandleMessage(tmplMsg, fn); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != *rec {
+		t.Fatalf("buffered set not replayed after template resync: %+v", got)
+	}
+	st := col.Stats()
+	if st.Buffered != 1 || st.Replayed != 1 || col.PendingSets(5) != 0 {
+		t.Errorf("stats after resync: %+v, pending %d", st, col.PendingSets(5))
+	}
+}
+
+func TestCollectorReorderIsNotLoss(t *testing.T) {
+	// Exported messages delivered out of order: a backward sequence
+	// jump must count as a reorder, and a late message must refill
+	// the gap its absence opened — not wrap into a ~2^32 loss.
+	var msgs [][]byte
+	w := writerFunc(func(p []byte) (int, error) {
+		msgs = append(msgs, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	exp := NewExporter(w, 9)
+	for i := 0; i < 400; i++ {
+		exp.Export(sampleRecord(uint32(i)), 0)
+	}
+	exp.Flush(0)
+	if len(msgs) < 3 {
+		t.Skip("need at least 3 messages to swap a pair")
+	}
+	col := NewCollector()
+	n := 0
+	// Deliver message 2 before message 1.
+	order := []int{0, 2, 1}
+	for i := 3; i < len(msgs); i++ {
+		order = append(order, i)
+	}
+	for _, i := range order {
+		if err := col.HandleMessage(msgs[i], func(uint32, FlowRecord) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := col.Stats()
+	if st.Reordered != 1 {
+		t.Errorf("reordered = %d, want 1", st.Reordered)
+	}
+	if st.Lost != 0 {
+		t.Errorf("lost = %d; the late message should have refilled the gap", st.Lost)
+	}
+	if n != 400 {
+		t.Errorf("decoded %d of 400 records", n)
+	}
+}
+
+func TestCollectorDuplicateDoesNotRefill(t *testing.T) {
+	var msgs [][]byte
+	w := writerFunc(func(p []byte) (int, error) {
+		msgs = append(msgs, append([]byte(nil), p...))
+		return len(p), nil
+	})
+	exp := NewExporter(w, 9)
+	for i := 0; i < 400; i++ {
+		exp.Export(sampleRecord(uint32(i)), 0)
+	}
+	exp.Flush(0)
+	if len(msgs) < 3 {
+		t.Skip("need at least 3 messages")
+	}
+	col := NewCollector()
+	fn := func(uint32, FlowRecord) {}
+	// Drop message 1 (a real gap), then duplicate message 2: the
+	// duplicate must not be credited against the dropped records.
+	col.HandleMessage(msgs[0], fn)
+	col.HandleMessage(msgs[2], fn)
+	lostAfterGap := col.Stats().Lost
+	if lostAfterGap == 0 {
+		t.Fatal("gap not detected")
+	}
+	col.HandleMessage(msgs[2], fn)
+	st := col.Stats()
+	if st.Lost != lostAfterGap {
+		t.Errorf("duplicate changed lost from %d to %d", lostAfterGap, st.Lost)
+	}
+	if st.Reordered != 1 {
+		t.Errorf("duplicate should count as reordered, got %d", st.Reordered)
+	}
+}
+
+func TestCollectorSequenceWraparound(t *testing.T) {
+	// An exporter whose sequence crosses 2^32 must not register a
+	// catastrophic loss at the wrap point.
+	near := ^uint32(0) - 3 // 4294967292
+	col := NewCollector()
+	fn := func(uint32, FlowRecord) {}
+	recs := [][]byte{sampleRecord(0).Marshal(), sampleRecord(1).Marshal()}
+	tmpl := marshalTemplateSet([]Template{FlowTemplate()})
+	// seq near wrap with 2 records, then the continuation past 0.
+	m1 := marshalMessage(0, near, 6, [][]byte{tmpl, marshalDataSet(FlowTemplateID, recs)})
+	m2 := marshalMessage(0, near+2, 6, [][]byte{marshalDataSet(FlowTemplateID, recs)})
+	m3 := marshalMessage(0, near+4, 6, [][]byte{marshalDataSet(FlowTemplateID, recs)}) // seq 0: past the wrap
+	if near+4 != 0 {
+		t.Fatal("test arithmetic wrong")
+	}
+	for _, m := range [][]byte{m1, m2, m3} {
+		if err := col.HandleMessage(m, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := col.Stats()
+	if st.Lost != 0 || st.Reordered != 0 {
+		t.Errorf("wraparound misaccounted: %+v", st)
+	}
+}
+
+func TestCollectorQuarantinesMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewExporter(&buf, 3)
+	for i := 0; i < 20; i++ { // few enough to stay in one framed message
+		exp.Export(sampleRecord(uint32(i)), 0)
+	}
+	exp.Flush(0)
+	col := NewCollector()
+	n := 0
+	fn := func(uint32, FlowRecord) { n++ }
+	// A hopelessly short message and one with a corrupted version
+	// field are quarantined; a good message then processes normally.
+	if err := col.HandleMessage([]byte{1, 2, 3}, fn); err == nil {
+		t.Error("short message should return an error")
+	}
+	good := buf.Bytes()
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if err := col.HandleMessage(bad, fn); err == nil {
+		t.Error("bad version should return an error")
+	}
+	if err := col.HandleMessage(good, fn); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.Quarantined != 2 {
+		t.Errorf("quarantined = %d, want 2", st.Quarantined)
+	}
+	if n != 20 || st.Records != 20 {
+		t.Errorf("good message not processed after quarantines: n=%d stats=%+v", n, st)
+	}
+}
+
+func TestReadStreamSurvivesQuarantinedMessage(t *testing.T) {
+	// A stream with one undecodable (but correctly framed) message in
+	// the middle keeps going; only framing loss aborts.
+	var m1, m2 bytes.Buffer
+	exp1 := NewExporter(&m1, 4)
+	exp1.Export(sampleRecord(1), 0)
+	exp1.Flush(0)
+	exp2 := NewExporter(&m2, 4)
+	exp2.Export(sampleRecord(2), 0)
+	exp2.Flush(0)
+
+	var stream bytes.Buffer
+	stream.Write(m1.Bytes())
+	// Build a framed message whose body is garbage: valid version and
+	// length, unparseable template set inside.
+	garbage := marshalMessage(0, 9, 4, [][]byte{{0, 2, 0, 7, 1, 2, 3}})
+	stream.Write(garbage)
+	stream.Write(m2.Bytes())
+
+	col := NewCollector()
+	n := 0
+	if err := col.ReadStream(&stream, func(uint32, FlowRecord) { n++ }); err != nil {
+		t.Fatalf("stream aborted on a quarantinable message: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("decoded %d of 2 good records", n)
+	}
+	if st := col.Stats(); st.Quarantined == 0 {
+		t.Error("garbage message not quarantined")
+	}
+}
+
+func TestCollectorPendingBufferBounded(t *testing.T) {
+	col := NewCollector()
+	fn := func(uint32, FlowRecord) {}
+	rec := sampleRecord(0).Marshal()
+	for i := 0; i < maxPendingSets+10; i++ {
+		msg := marshalMessage(0, uint32(i), 7, [][]byte{marshalDataSet(FlowTemplateID, [][]byte{rec})})
+		col.HandleMessage(msg, fn)
+	}
+	if got := col.PendingSets(7); got != maxPendingSets {
+		t.Errorf("pending = %d, want capped at %d", got, maxPendingSets)
+	}
+	if st := col.Stats(); st.Evicted != 10 {
+		t.Errorf("evicted = %d, want 10", st.Evicted)
 	}
 }
 

@@ -30,9 +30,8 @@ func TestAnnounceSamplingRoundTrip(t *testing.T) {
 		t.Errorf("flow records decoded = %d, want 1", n)
 	}
 	// The options record must not register as loss.
-	_, _, lost := col.Stats()
-	if lost != 0 {
-		t.Errorf("lost = %d after options announcement", lost)
+	if st := col.Stats(); st.Lost != 0 {
+		t.Errorf("lost = %d after options announcement", st.Lost)
 	}
 }
 

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"testing"
+
+	"tipsy/internal/bgp"
+	"tipsy/internal/bmp"
+	"tipsy/internal/wan"
+)
+
+// TestBMPOutageRecoveryReannouncesRoutes drives a link through a full
+// outage cycle and checks the station's view: routes learned at
+// bootstrap, dropped with the Peer Down, and rebuilt — without any
+// extra withdrawal bookkeeping — by the re-establishment the recovery
+// hour emits.
+func TestBMPOutageRecoveryReannouncesRoutes(t *testing.T) {
+	s := testSim(t, 21)
+	var out Outage
+	found := false
+	for _, o := range s.Outages().All() {
+		if o.Start > 0 {
+			out, found = o, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no outage in schedule")
+	}
+	l, ok := s.Link(out.Link)
+	if !ok {
+		t.Fatal("outaged link missing")
+	}
+	if len(s.Workload().Anycast) == 0 {
+		t.Fatal("no anycast prefixes in workload")
+	}
+	prefix := s.Workload().Anycast[0]
+
+	st := bmp.NewStation()
+	send := func(routerID uint32, msg []byte) {
+		if err := st.Handle(routerID, msg); err != nil {
+			t.Fatalf("station rejected sim message: %v", err)
+		}
+	}
+	key := bmp.SessionKey{
+		RouterID: uint32(l.ID),
+		PeerAS:   l.PeerAS,
+		PeerAddr: bgp.V4(198, 18, byte(l.ID>>8), byte(l.ID)),
+	}
+
+	s.EmitBMPBootstrap(out.Start-1, send)
+	if st.Routes(key, prefix) == nil {
+		t.Fatal("bootstrap did not announce the anycast prefix")
+	}
+
+	s.EmitBMPHour(out.Start, send)
+	if st.SessionUp(key) || st.Routes(key, prefix) != nil {
+		t.Fatal("peer down did not clear the session view")
+	}
+
+	// Every hour of the outage changes nothing for this link.
+	for h := out.Start + 1; h < out.End; h++ {
+		s.EmitBMPHour(h, send)
+	}
+	if st.Routes(key, prefix) != nil {
+		t.Fatal("routes reappeared while the link was down")
+	}
+
+	s.EmitBMPHour(out.End, send)
+	if !st.SessionUp(key) {
+		t.Fatal("session not re-established after outage end")
+	}
+	if st.Routes(key, prefix) == nil {
+		t.Fatal("recovery did not re-announce the RIB; station view is stale-empty")
+	}
+	if st.Stats().Resyncs == 0 {
+		t.Error("recovery Peer Up should register as a resync")
+	}
+}
+
+// TestBMPFeedHonoursWithdrawals checks the recovery announcement skips
+// prefixes withdrawn on the link.
+func TestBMPFeedHonoursWithdrawals(t *testing.T) {
+	s := testSim(t, 22)
+	id := s.Links()[0]
+	l, _ := s.Link(id)
+	if len(s.Workload().Anycast) < 2 {
+		t.Skip("need two anycast prefixes")
+	}
+	p0, p1 := s.Workload().Anycast[0], s.Workload().Anycast[1]
+	s.Withdraw(id, p0)
+
+	st := bmp.NewStation()
+	send := func(routerID uint32, msg []byte) {
+		if routerID != uint32(id) {
+			return // only this link's session matters here
+		}
+		if err := st.Handle(routerID, msg); err != nil {
+			t.Fatalf("station rejected sim message: %v", err)
+		}
+	}
+	var h wan.Hour // any hour the link is up
+	for s.Outages().Down(id, h) {
+		h++
+	}
+	s.EmitBMPBootstrap(h, send)
+	key := bmp.SessionKey{
+		RouterID: uint32(l.ID),
+		PeerAS:   l.PeerAS,
+		PeerAddr: bgp.V4(198, 18, byte(l.ID>>8), byte(l.ID)),
+	}
+	if st.Routes(key, p0) != nil {
+		t.Error("withdrawn prefix announced at bootstrap")
+	}
+	if st.Routes(key, p1) == nil {
+		t.Error("non-withdrawn prefix missing at bootstrap")
+	}
+}

@@ -52,7 +52,7 @@ func TestWirePathEquivalence(t *testing.T) {
 			t.Fatalf("record %d differs across the wire:\n direct %+v\n  wire  %+v", i, direct[i], decoded[i])
 		}
 	}
-	if _, _, lost := col.Stats(); lost != 0 {
-		t.Errorf("sequence loss on a lossless stream: %d", lost)
+	if st := col.Stats(); st.Lost != 0 {
+		t.Errorf("sequence loss on a lossless stream: %d", st.Lost)
 	}
 }

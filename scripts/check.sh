@@ -41,4 +41,7 @@ else
     go test -race -count=1 ./...
 fi
 
+echo "==> chaos soak smoke"
+go test -run TestChaosSoak -short -count=1 ./internal/chaos
+
 echo "OK"
