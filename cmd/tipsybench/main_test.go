@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSameSeedRunsIdentical is the schema's determinism contract: two
+// runs with the same seed and config agree on every non-timing field.
+func TestSameSeedRunsIdentical(t *testing.T) {
+	a := run(quickConfig(7), "quick")
+	b := run(quickConfig(7), "quick")
+	a.StripTiming()
+	b.StripTiming()
+	if !reflect.DeepEqual(a, b) {
+		aj, _ := json.MarshalIndent(a, "", " ")
+		bj, _ := json.MarshalIndent(b, "", " ")
+		t.Fatalf("same-seed reports differ on non-timing fields:\n%s\n---\n%s", aj, bj)
+	}
+}
+
+// TestReportShape sanity-checks the report against the documented
+// schema: all five stages present in order, deterministic payload
+// populated, accuracy within bounds.
+func TestReportShape(t *testing.T) {
+	rep := run(quickConfig(3), "quick")
+	if rep.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", rep.Schema, SchemaVersion)
+	}
+	wantStages := []string{"generate", "ingest", "encode", "train", "predict"}
+	if len(rep.Stages) != len(wantStages) {
+		t.Fatalf("got %d stages, want %d", len(rep.Stages), len(wantStages))
+	}
+	for i, s := range rep.Stages {
+		if s.Name != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, wantStages[i])
+		}
+		if s.Items <= 0 {
+			t.Errorf("stage %q processed %d items", s.Name, s.Items)
+		}
+	}
+	if rep.Env.TrainRecords <= 0 || rep.Env.TestRecords <= 0 {
+		t.Errorf("env summary: %+v", rep.Env)
+	}
+	if rep.Env.EncodedRows != rep.Env.TrainRecords {
+		t.Errorf("encode dropped rows: %d encoded, %d train", rep.Env.EncodedRows, rep.Env.TrainRecords)
+	}
+	for _, k := range []string{"k1", "k3"} {
+		v, ok := rep.Accuracy[k]
+		if !ok || v <= 0 || v > 1 {
+			t.Errorf("accuracy[%s] = %v, ok=%v", k, v, ok)
+		}
+	}
+	if rep.Accuracy["k3"] < rep.Accuracy["k1"] {
+		t.Errorf("accuracy not monotone in k: %v", rep.Accuracy)
+	}
+	// The ingest stage's registry scalars made it into the report.
+	if rep.Metrics["pipeline_records_raw_total"] <= 0 {
+		t.Errorf("registry scalars missing from report: %v", rep.Metrics)
+	}
+	if rep.Metrics["pipeline_aggregates_pending"] != 0 {
+		t.Errorf("pending gauge = %d after drain", rep.Metrics["pipeline_aggregates_pending"])
+	}
+}

@@ -87,9 +87,7 @@ func TestPredictLadderFallsBackToGeo(t *testing.T) {
 	if len(preds) == 0 {
 		t.Fatal("geo fallback returned nothing")
 	}
-	s.mu.RLock()
-	fb := s.fallbacks
-	s.mu.RUnlock()
+	fb := s.fallbackSnapshot()
 	if fb.Ensemble != 1 || fb.Geo != 1 {
 		t.Errorf("fallback counters = %+v", fb)
 	}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -48,14 +49,15 @@ import (
 	"tipsy/internal/features"
 	"tipsy/internal/geo"
 	"tipsy/internal/netsim"
+	"tipsy/internal/obsv"
 	"tipsy/internal/pipeline"
 	"tipsy/internal/topology"
 	"tipsy/internal/traffic"
 	"tipsy/internal/wan"
 )
 
-// fallbackCounters counts which rung of the degraded-mode ladder
-// answered prediction queries.
+// fallbackCounters is the JSON snapshot of the degraded-mode ladder
+// counters /healthz reports; the live counts are registry metrics.
 type fallbackCounters struct {
 	Ensemble   uint64 `json:"ensemble"`
 	Historical uint64 `json:"historical"`
@@ -63,10 +65,41 @@ type fallbackCounters struct {
 	None       uint64 `json:"none"`
 }
 
+// serverMetrics are tipsyd's registry-backed metrics: one counter per
+// fallback-ladder rung and one latency histogram per rung attempt.
+// Prediction-path stage timings (feature-encode → predict) are
+// published per request through an obsv.Trace.
+type serverMetrics struct {
+	ensemble, historical, geo, none       *obsv.Counter
+	rungEnsemble, rungHistorical, rungGeo *obsv.Histogram
+	requests                              *obsv.Counter
+}
+
+func newServerMetrics(reg *obsv.Registry) serverMetrics {
+	return serverMetrics{
+		ensemble:       reg.Counter("tipsyd_fallback_ensemble_total"),
+		historical:     reg.Counter("tipsyd_fallback_historical_total"),
+		geo:            reg.Counter("tipsyd_fallback_geo_total"),
+		none:           reg.Counter("tipsyd_fallback_none_total"),
+		rungEnsemble:   reg.Histogram("tipsyd_rung_ensemble_ns"),
+		rungHistorical: reg.Histogram("tipsyd_rung_historical_ns"),
+		rungGeo:        reg.Histogram("tipsyd_rung_geo_ns"),
+		requests:       reg.Counter("tipsyd_predict_requests_total"),
+	}
+}
+
 type server struct {
 	sim       *netsim.Sim
 	metros    *geo.DB
 	trainDays int
+
+	// reg is the daemon-wide metrics registry: the pipeline counters,
+	// the fallback ladder, and the prediction-path trace histograms
+	// all land here, and /metrics exports it.
+	reg *obsv.Registry
+	met serverMetrics
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
+	pprofEnabled bool
 
 	// checkpointPath, when set, is where retrains atomically persist
 	// the trained models and where a restart recovers them from.
@@ -85,7 +118,6 @@ type server struct {
 	trainedAt wan.Hour
 	tuples    int
 	recovered bool // serving models recovered from a checkpoint
-	fallbacks fallbackCounters
 }
 
 func main() {
@@ -96,12 +128,14 @@ func main() {
 		dayEvery   = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
 		checkpoint = flag.String("checkpoint", "", "path for atomic model checkpoints (empty disables)")
 		staleAfter = flag.Int("stale-after", 72, "simulated hours before the model counts as stale (0 disables)")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	s := newServer(*seed, *trainDays)
 	s.checkpointPath = *checkpoint
 	s.staleAfter = wan.Hour(*staleAfter)
+	s.pprofEnabled = *pprofFlag
 
 	if s.checkpointPath != "" {
 		switch err := s.recoverCheckpoint(); {
@@ -202,10 +236,13 @@ func newServer(seed int64, trainDays int) *server {
 	cfg.OutagesPerLinkYear = 10
 	sim := netsim.New(cfg, g, metros, w)
 
+	reg := obsv.NewRegistry()
 	return &server{
 		sim:       sim,
 		metros:    metros,
 		trainDays: trainDays,
+		reg:       reg,
+		met:       newServerMetrics(reg),
 		geoFall:   core.NewGeoNearest(sim, metros),
 	}
 }
@@ -219,7 +256,9 @@ func buildServer(seed int64, trainDays int) *server {
 	return s
 }
 
-// mux routes the API.
+// mux routes the API. /metrics always serves the registry's text
+// exposition; the pprof handlers are mounted only when -pprof is set,
+// keeping the profiling surface off production listeners by default.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -227,6 +266,14 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/links", s.handleLinks)
 	mux.HandleFunc("GET /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -236,7 +283,7 @@ func (s *server) advanceDays(n int) {
 	from := s.simulated
 	s.mu.Unlock()
 	to := from + wan.Hour(n*24)
-	agg := pipeline.NewAggregator(s.sim.GeoIP(), s.sim.DstMetadata)
+	agg := pipeline.NewAggregatorOn(s.reg, s.sim.GeoIP(), s.sim.DstMetadata)
 	s.sim.Run(netsim.RunOptions{From: from, To: to, Sink: agg})
 	recs := agg.Records()
 	s.mu.Lock()
@@ -333,37 +380,52 @@ func (s *server) recoverCheckpoint() error {
 
 // predict walks the degraded-mode ladder: the trained ensemble, then
 // the coarse Hist_A model, then the training-free geographic guess.
-// It reports which rung answered; counters feed /healthz.
+// It reports which rung answered; the per-rung counters feed /healthz
+// and /metrics, and each attempted rung's latency lands in its
+// tipsyd_rung_*_ns histogram.
 func (s *server) predict(q core.Query) ([]core.Prediction, string) {
 	s.mu.RLock()
 	model, histA, geoFall := s.model, s.histA, s.geoFall
 	s.mu.RUnlock()
 	if model != nil {
-		if preds := model.Predict(q); len(preds) > 0 {
-			s.bump(&s.fallbacks.Ensemble)
+		start := time.Now()
+		preds := model.Predict(q)
+		s.met.rungEnsemble.Observe(time.Since(start).Nanoseconds())
+		if len(preds) > 0 {
+			s.met.ensemble.Inc()
 			return preds, "ensemble"
 		}
 	}
 	if histA != nil {
-		if preds := histA.Predict(q); len(preds) > 0 {
-			s.bump(&s.fallbacks.Historical)
+		start := time.Now()
+		preds := histA.Predict(q)
+		s.met.rungHistorical.Observe(time.Since(start).Nanoseconds())
+		if len(preds) > 0 {
+			s.met.historical.Inc()
 			return preds, "historical"
 		}
 	}
 	if geoFall != nil {
-		if preds := geoFall.Predict(q); len(preds) > 0 {
-			s.bump(&s.fallbacks.Geo)
+		start := time.Now()
+		preds := geoFall.Predict(q)
+		s.met.rungGeo.Observe(time.Since(start).Nanoseconds())
+		if len(preds) > 0 {
+			s.met.geo.Inc()
 			return preds, "geo"
 		}
 	}
-	s.bump(&s.fallbacks.None)
+	s.met.none.Inc()
 	return nil, "none"
 }
 
-func (s *server) bump(c *uint64) {
-	s.mu.Lock()
-	*c++
-	s.mu.Unlock()
+// fallbackSnapshot reads the ladder counters for /healthz.
+func (s *server) fallbackSnapshot() fallbackCounters {
+	return fallbackCounters{
+		Ensemble:   s.met.ensemble.Value(),
+		Historical: s.met.historical.Value(),
+		Geo:        s.met.geo.Value(),
+		None:       s.met.none.Value(),
+	}
 }
 
 // degradedLocked reports whether serving is degraded (no trained
@@ -389,7 +451,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"model_age_hours":  s.simulated - s.trainedAt,
 		"model_ready":      s.model != nil,
 		"recovered":        s.recovered,
-		"fallbacks":        s.fallbacks,
+		"fallbacks":        s.fallbackSnapshot(),
 	}
 	s.mu.RUnlock()
 	if degraded {
@@ -511,11 +573,17 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 3
 	}
+	s.met.requests.Inc()
+	// Trace the request's stages: feature encoding (address parsing,
+	// prefix derivation, Geo-IP joins) vs. prediction (the ensemble
+	// and its fallback ladder). Publishing feeds the per-stage latency
+	// histograms that /metrics exports.
+	tr := obsv.NewTrace()
 	excluded := make(map[wan.LinkID]bool, len(req.ExcludeLinks))
 	for _, l := range req.ExcludeLinks {
 		excluded[l] = true
 	}
-	resp := predictResponse{Shifted: make(map[wan.LinkID]float64)}
+	flows := make([]features.FlowFeatures, len(req.Flows))
 	for i, f := range req.Flows {
 		addr, err := parseIPv4(f.SrcAddr)
 		if err != nil {
@@ -523,12 +591,16 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		prefix := bgp.Slash24(addr)
-		flow := features.FlowFeatures{
+		flows[i] = features.FlowFeatures{
 			AS: bgp.ASN(f.SrcAS), Prefix: prefix, Loc: s.sim.GeoIP().Lookup(prefix),
 			Region: wan.Region(f.Region), Type: wan.ServiceType(f.Service),
 		}
+	}
+	tr.Mark("feature_encode")
+	resp := predictResponse{Shifted: make(map[wan.LinkID]float64)}
+	for i, f := range req.Flows {
 		preds, rung := s.predict(core.Query{
-			Flow: flow, K: req.K,
+			Flow: flows[i], K: req.K,
 			Exclude: func(l wan.LinkID) bool { return excluded[l] },
 		})
 		var result struct {
@@ -552,6 +624,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, result)
 	}
+	tr.Mark("predict")
+	tr.Publish(s.reg, "tipsyd_predict")
 	writeJSON(w, resp)
 }
 

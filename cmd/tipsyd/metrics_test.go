@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"tipsy/internal/core"
+	"tipsy/internal/features"
+)
+
+// metricValue extracts one scalar metric from /metrics text output.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics output", name)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMetricsEndpoint proves the migrated counters surface on
+// /metrics: the pipeline ingest counters from the bootstrap and the
+// fallback-ladder rung counters after predictions through both the
+// ensemble and the geo fallback.
+func TestMetricsEndpoint(t *testing.T) {
+	s := smallServer(t, 41)
+
+	// Bootstrap ingested telemetry through the registry-backed
+	// aggregator.
+	rr := get(t, s, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	if raw := metricValue(t, rr.Body.String(), "pipeline_records_raw_total"); raw <= 0 {
+		t.Errorf("pipeline_records_raw_total = %d after bootstrap", raw)
+	}
+
+	// One known flow (ensemble rung) and one novel flow (geo rung).
+	known := s.records[0].Flow
+	s.predict(core.Query{Flow: known, K: 3})
+	novel := features.FlowFeatures{AS: 4200000002, Prefix: 0x02030400, Loc: 2, Region: known.Region, Type: known.Type}
+	s.predict(core.Query{Flow: novel, K: 3})
+
+	body := get(t, s, "/metrics").Body.String()
+	if v := metricValue(t, body, "tipsyd_fallback_ensemble_total"); v != 1 {
+		t.Errorf("tipsyd_fallback_ensemble_total = %d, want 1", v)
+	}
+	if v := metricValue(t, body, "tipsyd_fallback_geo_total"); v != 1 {
+		t.Errorf("tipsyd_fallback_geo_total = %d, want 1", v)
+	}
+	// The rung histograms recorded the attempts: the geo answer first
+	// fell through the ensemble and historical rungs.
+	for _, name := range []string{"tipsyd_rung_ensemble_ns_count", "tipsyd_rung_historical_ns_count", "tipsyd_rung_geo_ns_count"} {
+		if v := metricValue(t, body, name); v < 1 {
+			t.Errorf("%s = %d, want >= 1", name, v)
+		}
+	}
+}
+
+// TestPredictPublishesTrace proves a /v1/predict request feeds the
+// prediction-path stage histograms.
+func TestPredictPublishesTrace(t *testing.T) {
+	s := smallServer(t, 42)
+	reqBody, _ := json.Marshal(map[string]any{
+		"flows": []map[string]any{{
+			"src_addr": "11.0.3.7", "src_as": 7, "region": 1, "service": 1, "bytes": 1e6,
+		}},
+		"k": 3,
+	})
+	req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(reqBody))
+	rr := httptest.NewRecorder()
+	s.mux().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", rr.Code, rr.Body)
+	}
+	body := get(t, s, "/metrics").Body.String()
+	for _, name := range []string{
+		"tipsyd_predict_requests_total",
+		"tipsyd_predict_feature_encode_ns_count",
+		"tipsyd_predict_predict_ns_count",
+		"tipsyd_predict_total_ns_count",
+	} {
+		if v := metricValue(t, body, name); v != 1 {
+			t.Errorf("%s = %d, want 1", name, v)
+		}
+	}
+}
+
+// TestPprofGatedByFlag: the profiling surface exists only when
+// enabled.
+func TestPprofGatedByFlag(t *testing.T) {
+	s := smallServer(t, 43)
+	if rr := get(t, s, "/debug/pprof/"); rr.Code != http.StatusNotFound {
+		t.Errorf("pprof served without the flag: %d", rr.Code)
+	}
+	s.pprofEnabled = true
+	if rr := get(t, s, "/debug/pprof/"); rr.Code != http.StatusOK {
+		t.Errorf("pprof with flag: %d", rr.Code)
+	}
+}

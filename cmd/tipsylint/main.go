@@ -1,11 +1,12 @@
 // Command tipsylint is the repository's static-analysis gate. It
 // walks the given packages and enforces the project conventions that
 // go vet cannot: seeded-simulation determinism, mutex hygiene,
-// wire-encoder error handling, and goroutine lifecycle discipline.
+// wire-encoder error handling, goroutine lifecycle discipline, and
+// registry-backed metrics hygiene.
 //
 // Usage:
 //
-//	tipsylint [-json] [-rules determinism,locks,wire,goroutine] ./...
+//	tipsylint [-json] [-rules determinism,locks,wire,goroutine,metrics] ./...
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
 // on usage or load errors. Individual findings are silenced in the

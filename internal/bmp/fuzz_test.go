@@ -1,0 +1,86 @@
+package bmp
+
+import (
+	"bytes"
+	"testing"
+
+	"tipsy/internal/bgp"
+)
+
+// fuzzSeeds marshals one of each BMP message type plus the quarantine
+// classes: truncated frames, corrupted versions, and lying lengths.
+func fuzzSeeds() [][]byte {
+	peer := PeerHeader{
+		Type: 0, Flags: 0, Address: 0x0a000001,
+		AS: 64501, BGPID: 0x01010101, Timestamp: 1000,
+	}
+	up := &PeerUp{
+		Peer: peer, LocalAddr: 0x0a0000fe, LocalPort: 179, RemotePort: 33000,
+		SentOpen: &bgp.Open{Version: 4, AS: 64500, HoldTime: 90, BGPID: 2},
+		RecvOpen: &bgp.Open{Version: 4, AS: 64501, HoldTime: 90, BGPID: 3},
+	}
+	mon := &RouteMonitoring{
+		Peer: peer,
+		Update: &bgp.Update{
+			Withdrawn: []bgp.Prefix{bgp.MakePrefix(0x0c000000, 24)},
+			NLRI:      []bgp.Prefix{bgp.MakePrefix(0x0b000000, 24)},
+			Attrs: bgp.PathAttrs{
+				Origin: 0, ASPath: []bgp.ASN{64501, 64502}, NextHop: 0x0a000001,
+				Communities: []uint32{0xfde80001},
+			},
+		},
+	}
+	seeds := [][]byte{
+		(&Initiation{SysName: "edge-1", SysDescr: "tipsy edge"}).Marshal(),
+		up.Marshal(),
+		mon.Marshal(),
+		(&PeerDown{Peer: peer, Reason: ReasonRemoteNotification}).Marshal(),
+		(&Termination{Reason: 1}).Marshal(),
+	}
+	full := append([]byte(nil), seeds[2]...)
+	// Truncations around the header boundaries.
+	for _, n := range []int{0, 1, commonHeaderLen - 1, commonHeaderLen, commonHeaderLen + perPeerHeaderLen - 1} {
+		if n <= len(full) {
+			seeds = append(seeds, full[:n])
+		}
+	}
+	// Wrong version byte.
+	bad := append([]byte(nil), full...)
+	bad[0] = 9
+	seeds = append(seeds, bad)
+	// Length field larger and smaller than the buffer.
+	long := append([]byte(nil), full...)
+	long[1], long[2], long[3], long[4] = 0xff, 0xff, 0xff, 0xff
+	seeds = append(seeds, long)
+	short := append([]byte(nil), full...)
+	short[1], short[2], short[3], short[4] = 0, 0, 0, commonHeaderLen
+	seeds = append(seeds, short)
+	seeds = append(seeds, []byte("garbage"), bytes.Repeat([]byte{0xaa}, 80))
+	return seeds
+}
+
+// FuzzBMPDecode drives Decode and the monitoring station over
+// arbitrary bytes. Malformed messages must error (the station
+// quarantines them) — never panic, and never corrupt session state so
+// badly that subsequent valid messages stop working.
+func FuzzBMPDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	valid := (&Initiation{SysName: "after", SysDescr: "still works"}).Marshal()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = WireLen(data)
+		_, _ = Decode(data)
+
+		s := NewStation()
+		_ = s.Handle(1, data)
+		// A quarantined message must not poison the station: a valid
+		// message right after still processes.
+		if err := s.Handle(1, valid); err != nil {
+			t.Fatalf("valid message rejected after fuzz input: %v", err)
+		}
+		if s.Stats().Quarantined > 1 {
+			t.Fatalf("valid message quarantined")
+		}
+	})
+}

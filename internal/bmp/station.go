@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tipsy/internal/bgp"
+	"tipsy/internal/obsv"
 )
 
 // SessionKey identifies one monitored BGP session at the station.
@@ -26,6 +27,25 @@ type StationStats struct {
 	Resyncs     uint64
 }
 
+// stationMetrics are the station's registry-backed counters.
+type stationMetrics struct {
+	monitored   *obsv.Counter
+	peerUps     *obsv.Counter
+	peerDowns   *obsv.Counter
+	quarantined *obsv.Counter
+	resyncs     *obsv.Counter
+}
+
+func newStationMetrics(reg *obsv.Registry) stationMetrics {
+	return stationMetrics{
+		monitored:   reg.Counter("bmp_monitored_total"),
+		peerUps:     reg.Counter("bmp_peer_ups_total"),
+		peerDowns:   reg.Counter("bmp_peer_downs_total"),
+		quarantined: reg.Counter("bmp_quarantined_total"),
+		resyncs:     reg.Counter("bmp_resyncs_total"),
+	}
+}
+
 // Station is a BMP monitoring station: it consumes BMP messages from
 // many routers and maintains the set of advertisements currently held
 // on each monitored session. This is the data-lake view the paper's
@@ -34,7 +54,7 @@ type Station struct {
 	mu       sync.Mutex
 	routers  map[uint32]string // router id -> sysname
 	sessions map[SessionKey]*sessionState
-	stats    StationStats
+	m        stationMetrics
 }
 
 type sessionState struct {
@@ -42,11 +62,18 @@ type sessionState struct {
 	routes map[bgp.Prefix][]bgp.ASN // prefix -> AS path last advertised
 }
 
-// NewStation creates an empty station.
+// NewStation creates an empty station with a private metrics registry.
 func NewStation() *Station {
+	return NewStationOn(obsv.NewRegistry())
+}
+
+// NewStationOn creates a station whose counters live in reg under the
+// bmp_ prefix.
+func NewStationOn(reg *obsv.Registry) *Station {
 	return &Station{
 		routers:  make(map[uint32]string),
 		sessions: make(map[SessionKey]*sessionState),
+		m:        newStationMetrics(reg),
 	}
 }
 
@@ -57,9 +84,7 @@ func NewStation() *Station {
 func (s *Station) Handle(routerID uint32, buf []byte) error {
 	msg, err := Decode(buf)
 	if err != nil {
-		s.mu.Lock()
-		s.stats.Quarantined++
-		s.mu.Unlock()
+		s.m.quarantined.Inc()
 		return err
 	}
 	s.mu.Lock()
@@ -75,17 +100,17 @@ func (s *Station) Handle(routerID uint32, buf []byte) error {
 			// The session went down mid-stream (or the Peer Up is a
 			// retransmission): re-bootstrap — drop whatever RIB state
 			// survived and rebuild from the announcements that follow.
-			s.stats.Resyncs++
+			s.m.resyncs.Inc()
 		}
 		s.sessions[key] = &sessionState{up: true, routes: make(map[bgp.Prefix][]bgp.ASN)}
-		s.stats.PeerUps++
+		s.m.peerUps.Inc()
 	case *PeerDown:
 		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
 		if st, ok := s.sessions[key]; ok {
 			st.up = false
 			st.routes = make(map[bgp.Prefix][]bgp.ASN)
 		}
-		s.stats.PeerDowns++
+		s.m.peerDowns.Inc()
 	case *RouteMonitoring:
 		key := SessionKey{routerID, m.Peer.AS, m.Peer.Address}
 		st, ok := s.sessions[key]
@@ -101,7 +126,7 @@ func (s *Station) Handle(routerID uint32, buf []byte) error {
 		for _, p := range m.Update.NLRI {
 			st.routes[p] = append([]bgp.ASN(nil), m.Update.Attrs.ASPath...)
 		}
-		s.stats.Monitored++
+		s.m.monitored.Inc()
 	}
 	return nil
 }
@@ -155,11 +180,16 @@ func (s *Station) SessionUp(key SessionKey) bool {
 	return ok && st.up
 }
 
-// Stats returns a snapshot of the station's counters.
+// Stats returns a snapshot of the station's counters, read from the
+// registry metrics.
 func (s *Station) Stats() StationStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return StationStats{
+		Monitored:   s.m.monitored.Value(),
+		PeerUps:     s.m.peerUps.Value(),
+		PeerDowns:   s.m.peerDowns.Value(),
+		Quarantined: s.m.quarantined.Value(),
+		Resyncs:     s.m.resyncs.Value(),
+	}
 }
 
 // NumSessions reports how many sessions the station has seen.

@@ -136,6 +136,94 @@ func TestEnsembleFirstNonEmptyProperty(t *testing.T) {
 	}
 }
 
+// TestEnsemblePermutationInvarianceProperty: training is an order-free
+// aggregation, so permuting the training records must not change any
+// ensemble prediction. This holds exactly (not just approximately)
+// because per-tuple byte totals are sums of integer-valued float64s,
+// accumulated per tuple — no ordering-dependent rounding survives.
+func TestEnsemblePermutationInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trainEnsemble := func(recs []features.Record) *Ensemble {
+		return NewEnsemble(
+			TrainHistorical(features.SetAP, recs, DefaultHistOpts()),
+			TrainHistorical(features.SetAL, recs, DefaultHistOpts()),
+			TrainHistorical(features.SetA, recs, DefaultHistOpts()),
+		)
+	}
+	check := func() bool {
+		recs := randomRecords(rng, 50+rng.Intn(150))
+		shuffled := append([]features.Record(nil), recs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		a, b := trainEnsemble(recs), trainEnsemble(shuffled)
+		for i := 0; i < 30; i++ {
+			q := Query{Flow: recs[rng.Intn(len(recs))].Flow, K: 1 + rng.Intn(4)}
+			pa, pb := a.Predict(q), b.Predict(q)
+			if len(pa) != len(pb) {
+				return false
+			}
+			for j := range pa {
+				if pa[j] != pb[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistoricalTopKProperty: for every k, the top-k prediction list
+// is sorted by descending fraction, has at most k entries, total mass
+// at most 1, and its link set is a prefix-consistent subset: top-k
+// links are always a subset of top-(k+1) links.
+func TestHistoricalTopKProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	check := func() bool {
+		recs := randomRecords(rng, 60+rng.Intn(120))
+		set := features.Set(rng.Intn(3))
+		h := TrainHistorical(set, recs, DefaultHistOpts())
+		for i := 0; i < 20; i++ {
+			flow := recs[rng.Intn(len(recs))].Flow
+			var prev []Prediction
+			for k := 1; k <= 6; k++ {
+				preds := h.Predict(Query{Flow: flow, K: k})
+				if len(preds) > k {
+					return false
+				}
+				var sum float64
+				for j, p := range preds {
+					sum += p.Frac
+					if p.Frac <= 0 {
+						return false
+					}
+					if j > 0 && p.Frac > preds[j-1].Frac+1e-12 {
+						return false // not sorted descending
+					}
+				}
+				if sum > 1+1e-9 {
+					return false
+				}
+				// Prefix consistency: the k-1 list is literally the
+				// head of the k list.
+				for j := range prev {
+					if preds[j].Link != prev[j].Link {
+						return false
+					}
+				}
+				prev = preds
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestNaiveBayesInvariantsProperty: NB predictions are sorted, sum to
 // at most 1, and never include excluded links.
 func TestNaiveBayesInvariantsProperty(t *testing.T) {

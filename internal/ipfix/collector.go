@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"tipsy/internal/obsv"
 )
 
 // maxPendingSets bounds, per observation domain, how many data sets
@@ -59,6 +61,36 @@ type domainState struct {
 	sampling  uint32   // announced sampling interval
 }
 
+// collectorMetrics are the collector's registry-backed counters. Lost
+// is kept as two monotonic counters (gaps opened, gaps back-filled) so
+// the exported metrics never decrease; the net loss is derived in
+// Stats.
+type collectorMetrics struct {
+	messages    *obsv.Counter
+	records     *obsv.Counter
+	seqLost     *obsv.Counter
+	seqRefilled *obsv.Counter
+	reordered   *obsv.Counter
+	quarantined *obsv.Counter
+	buffered    *obsv.Counter
+	replayed    *obsv.Counter
+	evicted     *obsv.Counter
+}
+
+func newCollectorMetrics(reg *obsv.Registry) collectorMetrics {
+	return collectorMetrics{
+		messages:    reg.Counter("ipfix_messages_total"),
+		records:     reg.Counter("ipfix_records_total"),
+		seqLost:     reg.Counter("ipfix_seq_gap_lost_total"),
+		seqRefilled: reg.Counter("ipfix_seq_gap_refilled_total"),
+		reordered:   reg.Counter("ipfix_reordered_total"),
+		quarantined: reg.Counter("ipfix_quarantined_total"),
+		buffered:    reg.Counter("ipfix_pending_buffered_total"),
+		replayed:    reg.Counter("ipfix_pending_replayed_total"),
+		evicted:     reg.Counter("ipfix_pending_evicted_total"),
+	}
+}
+
 // Collector is an IPFIX collecting process. It consumes framed
 // messages (one or many exporters can share it if their domains
 // differ), tracks templates per observation domain, and hands decoded
@@ -71,12 +103,23 @@ type domainState struct {
 type Collector struct {
 	mu      sync.Mutex
 	domains map[uint32]*domainState
-	stats   CollectorStats
+	m       collectorMetrics
 }
 
-// NewCollector creates an empty collector.
+// NewCollector creates an empty collector with a private metrics
+// registry.
 func NewCollector() *Collector {
-	return &Collector{domains: make(map[uint32]*domainState)}
+	return NewCollectorOn(obsv.NewRegistry())
+}
+
+// NewCollectorOn creates a collector whose counters live in reg under
+// the ipfix_ prefix, so /metrics exports them alongside every other
+// subsystem's.
+func NewCollectorOn(reg *obsv.Registry) *Collector {
+	return &Collector{
+		domains: make(map[uint32]*domainState),
+		m:       newCollectorMetrics(reg),
+	}
 }
 
 // domain returns (creating if needed) the state for one observation
@@ -98,7 +141,7 @@ func (c *Collector) HandleMessage(buf []byte, fn func(domain uint32, rec FlowRec
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(buf) < msgHeaderLen {
-		c.stats.Quarantined++
+		c.m.quarantined.Inc()
 		return ErrShortMessage
 	}
 	// Peek the domain to select the template table.
@@ -106,11 +149,11 @@ func (c *Collector) HandleMessage(buf []byte, fn func(domain uint32, rec FlowRec
 	d := c.domain(id)
 	msg, err := Decode(buf, d.templates)
 	if err != nil {
-		c.stats.Quarantined++
+		c.m.quarantined.Inc()
 		return err
 	}
 	c.accountSequence(d, msg)
-	c.stats.Messages++
+	c.m.messages.Inc()
 	for _, dr := range msg.Records {
 		c.processRecord(d, id, dr, fn)
 	}
@@ -141,7 +184,7 @@ func (c *Collector) accountSequence(d *domainState, msg *Message) {
 	case diff > 0:
 		// Records [nextSeq, seq) never arrived — presumed lost until
 		// a reordered message back-fills the gap.
-		c.stats.Lost += uint64(diff)
+		c.m.seqLost.Add(uint64(diff))
 		d.gaps = append(d.gaps, seqGap{start: d.nextSeq, count: uint32(diff)})
 		if len(d.gaps) > maxTrackedGaps {
 			d.gaps = d.gaps[len(d.gaps)-maxTrackedGaps:]
@@ -151,7 +194,7 @@ func (c *Collector) accountSequence(d *domainState, msg *Message) {
 		// A message from the past: reordered, duplicated, or
 		// retransmitted. If it covers an open gap, those records were
 		// never lost after all.
-		c.stats.Reordered++
+		c.m.reordered.Inc()
 		c.refillGaps(d, seq, n)
 		if int32(seq+n-d.nextSeq) > 0 {
 			d.nextSeq = seq + n
@@ -185,7 +228,7 @@ func (c *Collector) refillGaps(d *domainState, seq, n uint32) {
 			hi = int64(g.count)
 		}
 		covered := uint32(hi - lo)
-		c.stats.Lost -= uint64(covered)
+		c.m.seqRefilled.Add(uint64(covered))
 		// The gap may split into a head and a tail remainder.
 		if lo > 0 {
 			kept = append(kept, seqGap{start: g.start, count: uint32(lo)})
@@ -212,10 +255,10 @@ func (c *Collector) processRecord(d *domainState, id uint32, dr DataRecord, fn f
 	}
 	rec, err := UnmarshalFlowRecord(dr.Data)
 	if err != nil {
-		c.stats.Quarantined++
+		c.m.quarantined.Inc()
 		return
 	}
-	c.stats.Records++
+	c.m.records.Inc()
 	fn(id, rec)
 }
 
@@ -224,10 +267,10 @@ func (c *Collector) processRecord(d *domainState, id uint32, dr DataRecord, fn f
 func (c *Collector) bufferPending(d *domainState, raw RawSet) {
 	body := append([]byte(nil), raw.Body...) // Body aliases the message buffer
 	d.pending = append(d.pending, RawSet{SetID: raw.SetID, Body: body})
-	c.stats.Buffered++
+	c.m.buffered.Inc()
 	if len(d.pending) > maxPendingSets {
 		d.pending = d.pending[1:]
-		c.stats.Evicted++
+		c.m.evicted.Inc()
 	}
 }
 
@@ -241,10 +284,10 @@ func (c *Collector) replayPending(d *domainState, id uint32, fn func(uint32, Flo
 			still = append(still, raw)
 			continue
 		}
-		c.stats.Replayed++
+		c.m.replayed.Inc()
 		rl := t.RecordLen()
 		if rl == 0 {
-			c.stats.Quarantined++
+			c.m.quarantined.Inc()
 			continue
 		}
 		body := raw.Body
@@ -307,11 +350,22 @@ func (c *Collector) PendingSets(domain uint32) int {
 	return 0
 }
 
-// Stats returns a snapshot of the collector's counters.
+// Stats returns a snapshot of the collector's counters, read from the
+// registry metrics. Lost is the net figure: gaps opened minus gaps
+// back-filled by reordered arrivals.
 func (c *Collector) Stats() CollectorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	return CollectorStats{
+		Messages:    c.m.messages.Value(),
+		Records:     c.m.records.Value(),
+		Lost:        c.m.seqLost.Value() - c.m.seqRefilled.Value(),
+		Reordered:   c.m.reordered.Value(),
+		Quarantined: c.m.quarantined.Value(),
+		Buffered:    c.m.buffered.Value(),
+		Replayed:    c.m.replayed.Value(),
+		Evicted:     c.m.evicted.Value(),
+	}
 }
 
 // Sampler models the edge routers' random packet sampling: each

@@ -26,12 +26,12 @@ type Exporter struct {
 	domain   uint32
 	template Template
 
-	mu       sync.Mutex
-	seq      uint32
-	msgCount int
-	pending  [][]byte
-	pendLen  int
-	tmplLen  int // wire size of the template set, for budgeting
+	mu             sync.Mutex
+	seq            uint32
+	msgsSinceStart int
+	pending        [][]byte
+	pendLen        int
+	tmplLen        int // wire size of the template set, for budgeting
 }
 
 // NewExporter creates an exporter for the given observation domain
@@ -70,13 +70,13 @@ func (e *Exporter) flushLocked(exportTime uint32) error {
 		return nil
 	}
 	var sets [][]byte
-	if e.msgCount%templateResendEvery == 0 {
+	if e.msgsSinceStart%templateResendEvery == 0 {
 		sets = append(sets, marshalTemplateSet([]Template{e.template}))
 	}
 	sets = append(sets, marshalDataSet(e.template.ID, e.pending))
 	msg := marshalMessage(exportTime, e.seq, e.domain, sets)
 	e.seq += uint32(len(e.pending))
-	e.msgCount++
+	e.msgsSinceStart++
 	e.pending = e.pending[:0]
 	e.pendLen = 0
 	_, err := e.w.Write(msg)

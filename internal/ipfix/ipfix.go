@@ -168,6 +168,12 @@ func marshalDataSet(templateID uint16, records [][]byte) []byte {
 // template IDs for this observation domain and is updated with any
 // templates carried in the message (RFC 7011 §8 template management).
 func Decode(buf []byte, templates map[uint16]Template) (*Message, error) {
+	if templates == nil {
+		// A caller with no template state (one-shot decode) still
+		// learns templates for the duration of this message, so data
+		// sets following their template in the same message decode.
+		templates = make(map[uint16]Template)
+	}
 	if len(buf) < msgHeaderLen {
 		return nil, ErrShortMessage
 	}

@@ -1,7 +1,7 @@
 // Package lint is tipsylint's analysis engine: a stdlib-only static
 // checker enforcing the repository's determinism, lock-hygiene,
-// wire-encoder, and goroutine conventions. See README.md in this
-// directory for the rule catalogue and the suppression syntax.
+// wire-encoder, goroutine, and metrics conventions. See README.md in
+// this directory for the rule catalogue and the suppression syntax.
 package lint
 
 import (
@@ -77,6 +77,13 @@ func Rules() []Rule {
 			Doc:       "flag goroutines with captured loop variables or no cancellation path",
 			SkipTests: true,
 			Check:     checkGoroutine,
+		},
+		{
+			Name:      "metrics",
+			Doc:       "flag bare integer counter fields in instrumented packages; counters belong on the obsv registry",
+			Dirs:      []string{"internal/ipfix", "internal/bmp", "internal/pipeline", "cmd/tipsyd"},
+			SkipTests: true,
+			Check:     checkMetrics,
 		},
 	}
 }

@@ -158,6 +158,10 @@ func f(xs []int, wg *sync.WaitGroup) {
 	}
 }
 `, "captures loop variable x"},
+		{"metrics", `package p
+type collector struct{ recordCount uint64 }
+func (c *collector) inc() { c.recordCount++ }
+`, "bare counter field"},
 	}
 	for i, tc := range cases {
 		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)

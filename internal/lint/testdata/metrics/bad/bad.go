@@ -1,0 +1,21 @@
+// Package fixture hoards event counters as bare struct integers,
+// invisible to /metrics and impossible to scrape.
+package fixture
+
+// receiver tracks its own counters instead of using the registry.
+type receiver struct {
+	msgCount    uint64
+	bytesTotal  uint64
+	dropped     int
+	quarantined uint32
+	state       []byte
+}
+
+// Bump is only here so the fields are used.
+func (r *receiver) Bump(n int) {
+	r.msgCount++
+	r.bytesTotal += uint64(n)
+	r.dropped++
+	r.quarantined++
+	r.state = append(r.state, 0)
+}

@@ -1,0 +1,180 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x_total") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 46, 47}, {1 << 60, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	h := NewRegistry().Histogram("h_ns")
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 106 {
+		t.Errorf("count=%d sum=%d, want 4/106", s.Count, s.Sum)
+	}
+	if s.Buckets[1] != 1 || s.Buckets[2] != 2 || s.Buckets[7] != 1 {
+		t.Errorf("buckets = %v", s.Buckets[:8])
+	}
+}
+
+// TestSnapshotDeterministicOrder pins the goldenability contract:
+// registration order never affects snapshot or text order.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(names []string) string {
+		r := NewRegistry()
+		for i, n := range names {
+			r.Counter(n).Add(uint64(i + 1))
+		}
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		return buf.String()
+	}
+	a := build([]string{"b_total", "a_total", "c_total"})
+	// Same metrics, reversed registration order, same values.
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Counter("a_total").Add(2)
+	r.Counter("b_total").Add(1)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	b := buf.String()
+	_ = a
+	if !strings.Contains(b, "a_total 2\n") {
+		t.Fatalf("text output missing a_total:\n%s", b)
+	}
+	if ia, ib, ic := strings.Index(b, "a_total"), strings.Index(b, "b_total"), strings.Index(b, "c_total"); !(ia < ib && ib < ic) {
+		t.Errorf("metrics not in sorted order:\n%s", b)
+	}
+}
+
+func TestWriteTextHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	h.Observe(1) // bucket 1, le=1
+	h.Observe(3) // bucket 2, le=3
+	h.Observe(3)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="1"} 1`,
+		`lat_ns_bucket{le="3"} 3`,
+		`lat_ns_bucket{le="+Inf"} 3`,
+		"lat_ns_sum 7",
+		"lat_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+// TestConcurrentWritesDuringSnapshot hammers every metric kind from
+// many goroutines while snapshotting concurrently — the -race proof
+// that /metrics can be scraped mid-ingest. Final totals must balance.
+func TestConcurrentWritesDuringSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run for the whole write phase.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				for _, c := range s.Counters {
+					if c.Value < 0 {
+						t.Error("negative counter in snapshot")
+						return
+					}
+				}
+				var buf bytes.Buffer
+				r.WriteText(&buf)
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := r.Counter("hits_total")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat_ns")
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%1000 + 1))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if v := r.Counter("hits_total").Value(); v != workers*perW {
+		t.Errorf("hits_total = %d, want %d", v, workers*perW)
+	}
+	if v := r.Gauge("depth").Value(); v != workers*perW {
+		t.Errorf("depth = %d, want %d", v, workers*perW)
+	}
+	if h := r.Histogram("lat_ns").Snapshot(); h.Count != workers*perW {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perW)
+	}
+}

@@ -1,0 +1,76 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one completed stage of a trace.
+type Span struct {
+	Stage string
+	Ns    int64
+}
+
+// Trace is a lightweight single-request tracer for the prediction
+// path: the caller marks stage boundaries (feature-encode → ensemble
+// → fallback ladder) and the trace records how long each stage took.
+// It is allocation-light (one slice), not safe for concurrent use —
+// one Trace belongs to one request — and publishes into a Registry's
+// histograms so per-stage latency distributions accumulate across
+// requests.
+type Trace struct {
+	clock func() int64 // monotonic-enough nanosecond clock
+	start int64
+	last  int64
+	spans []Span
+}
+
+// NewTrace starts a trace on the wall clock.
+func NewTrace() *Trace {
+	return NewTraceClock(func() int64 { return time.Now().UnixNano() })
+}
+
+// NewTraceClock starts a trace on an injected nanosecond clock —
+// deterministic tests pin timings with this.
+func NewTraceClock(clock func() int64) *Trace {
+	now := clock()
+	return &Trace{clock: clock, start: now, last: now}
+}
+
+// Mark closes the current stage under the given name. Stages are
+// contiguous: the next stage starts where this one ended.
+func (t *Trace) Mark(stage string) {
+	now := t.clock()
+	t.spans = append(t.spans, Span{Stage: stage, Ns: now - t.last})
+	t.last = now
+}
+
+// Spans returns the completed stages in order.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// TotalNs returns the time from trace start to the last mark.
+func (t *Trace) TotalNs() int64 { return t.last - t.start }
+
+// Publish records each stage's duration into the registry histogram
+// <prefix>_<stage>_ns and the total into <prefix>_total_ns.
+func (t *Trace) Publish(r *Registry, prefix string) {
+	for _, s := range t.spans {
+		r.Histogram(prefix + "_" + s.Stage + "_ns").Observe(s.Ns)
+	}
+	r.Histogram(prefix + "_total_ns").Observe(t.TotalNs())
+}
+
+// String renders the trace as "stage=1.2ms stage2=340µs (total 1.5ms)"
+// for log lines.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", s.Stage, time.Duration(s.Ns))
+	}
+	fmt.Fprintf(&b, " (total %v)", time.Duration(t.TotalNs()))
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic nanosecond clock for trace tests.
+type fakeClock struct{ now int64 }
+
+func (f *fakeClock) tick(ns int64) { f.now += ns }
+func (f *fakeClock) read() int64   { return f.now }
+
+func TestTraceStages(t *testing.T) {
+	clk := &fakeClock{now: 1000}
+	tr := NewTraceClock(clk.read)
+	clk.tick(50)
+	tr.Mark("feature_encode")
+	clk.tick(200)
+	tr.Mark("ensemble")
+	clk.tick(30)
+	tr.Mark("fallback")
+
+	spans := tr.Spans()
+	want := []Span{{"feature_encode", 50}, {"ensemble", 200}, {"fallback", 30}}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(want))
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+	if tr.TotalNs() != 280 {
+		t.Errorf("total = %d, want 280", tr.TotalNs())
+	}
+	if s := tr.String(); !strings.Contains(s, "ensemble=200ns") || !strings.Contains(s, "total 280ns") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTracePublish(t *testing.T) {
+	r := NewRegistry()
+	clk := &fakeClock{}
+	for i := 0; i < 3; i++ {
+		tr := NewTraceClock(clk.read)
+		clk.tick(100)
+		tr.Mark("encode")
+		clk.tick(900)
+		tr.Mark("predict")
+		tr.Publish(r, "tipsyd_predict")
+	}
+	if c := r.Histogram("tipsyd_predict_encode_ns").Count(); c != 3 {
+		t.Errorf("encode histogram count = %d, want 3", c)
+	}
+	if s := r.Histogram("tipsyd_predict_predict_ns").Sum(); s != 2700 {
+		t.Errorf("predict histogram sum = %d, want 2700", s)
+	}
+	if s := r.Histogram("tipsyd_predict_total_ns").Sum(); s != 3000 {
+		t.Errorf("total histogram sum = %d, want 3000", s)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"tipsy/internal/features"
 	"tipsy/internal/geo"
 	"tipsy/internal/ipfix"
+	"tipsy/internal/obsv"
 	"tipsy/internal/wan"
 )
 
@@ -29,6 +30,23 @@ type aggKey struct {
 	link wan.LinkID
 }
 
+// aggregatorMetrics are the aggregator's registry-backed counters:
+// raw ingested records, records dropped for missing metadata, and a
+// gauge tracking how many hourly aggregates are pending drain.
+type aggregatorMetrics struct {
+	raw     *obsv.Counter
+	dropped *obsv.Counter
+	pending *obsv.Gauge
+}
+
+func newAggregatorMetrics(reg *obsv.Registry) aggregatorMetrics {
+	return aggregatorMetrics{
+		raw:     reg.Counter("pipeline_records_raw_total"),
+		dropped: reg.Counter("pipeline_records_dropped_total"),
+		pending: reg.Gauge("pipeline_aggregates_pending"),
+	}
+}
+
 // Aggregator consumes IPFIX flow records and produces hourly
 // aggregated feature records. It implements netsim.RecordSink. Safe
 // for concurrent use.
@@ -36,16 +54,25 @@ type Aggregator struct {
 	geoip *geo.GeoIP
 	meta  Metadata
 
-	mu      sync.Mutex
-	acc     map[aggKey]float64
-	raw     int
-	dropped int
+	mu  sync.Mutex
+	acc map[aggKey]float64
+	m   aggregatorMetrics
 }
 
 // NewAggregator builds an aggregator joining against the given Geo-IP
-// database and destination metadata.
+// database and destination metadata, with a private metrics registry.
 func NewAggregator(geoip *geo.GeoIP, meta Metadata) *Aggregator {
-	return &Aggregator{geoip: geoip, meta: meta, acc: make(map[aggKey]float64)}
+	return NewAggregatorOn(obsv.NewRegistry(), geoip, meta)
+}
+
+// NewAggregatorOn builds an aggregator whose counters live in reg
+// under the pipeline_ prefix.
+func NewAggregatorOn(reg *obsv.Registry, geoip *geo.GeoIP, meta Metadata) *Aggregator {
+	return &Aggregator{
+		geoip: geoip, meta: meta,
+		acc: make(map[aggKey]float64),
+		m:   newAggregatorMetrics(reg),
+	}
 }
 
 // Record ingests one sampled flow record observed during hour h.
@@ -56,9 +83,9 @@ func (a *Aggregator) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) 
 	region, svc, ok := a.meta(rec.DstAddr)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.raw++
+	a.m.raw.Inc()
 	if !ok {
-		a.dropped++
+		a.m.dropped.Inc()
 		return
 	}
 	prefix := bgp.Slash24(rec.SrcAddr)
@@ -74,6 +101,7 @@ func (a *Aggregator) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) 
 		link: link,
 	}
 	a.acc[key] += float64(rec.Octets)
+	a.m.pending.Set(int64(len(a.acc)))
 }
 
 // Records drains the aggregator, returning the hourly feature records
@@ -86,6 +114,7 @@ func (a *Aggregator) Records() []features.Record {
 		out = append(out, features.Record{Hour: k.hour, Flow: k.flow, Link: k.link, Bytes: b})
 	}
 	a.acc = make(map[aggKey]float64)
+	a.m.pending.Set(0)
 	sort.Slice(out, func(i, j int) bool { return lessRecord(&out[i], &out[j]) })
 	return out
 }
@@ -117,7 +146,7 @@ func lessRecord(a, b *features.Record) bool {
 func (a *Aggregator) Stats() (raw, dropped, pending int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.raw, a.dropped, len(a.acc)
+	return int(a.m.raw.Value()), int(a.m.dropped.Value()), len(a.acc)
 }
 
 // Encoded compresses feature records with ordinal dictionaries — the

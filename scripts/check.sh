@@ -3,8 +3,10 @@
 #
 # Runs, in order: formatting, go vet, build, tipsylint (the project's
 # own static-analysis suite: determinism, lock hygiene, wire-encoder
-# safety, goroutine hygiene), and the test suite under the race
-# detector. Everything is stdlib Go; no network access is needed.
+# safety, goroutine hygiene, metrics), the test suite under the race
+# detector with a total-coverage floor, a 15s fuzz pass per protocol
+# decoder, the tipsybench quick cycle, and the chaos soak. Everything
+# is stdlib Go; no network access is needed.
 #
 # Usage: scripts/check.sh [-short]
 #   -short  skip the race detector (plain `go test`), for quick loops
@@ -33,13 +35,37 @@ go build ./...
 echo "==> tipsylint ./..."
 go run ./cmd/tipsylint ./...
 
+# Total statement coverage must not sink below this floor (the suite
+# sits around 79-80%; the floor leaves headroom for refactors without
+# letting coverage rot).
+coverage_floor=75.0
+covprofile=$(mktemp)
+trap 'rm -f "$covprofile"' EXIT
+
 if [[ $short -eq 1 ]]; then
     echo "==> go test ./... (short: race detector skipped)"
-    go test -count=1 ./...
+    go test -count=1 -coverprofile="$covprofile" ./...
 else
     echo "==> go test -race -count=1 ./..."
-    go test -race -count=1 ./...
+    go test -race -count=1 -coverprofile="$covprofile" ./...
 fi
+
+echo "==> coverage floor (>= ${coverage_floor}%)"
+total=$(go tool cover -func="$covprofile" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "    total coverage: ${total}%"
+awk -v t="$total" -v f="$coverage_floor" 'BEGIN { exit !(t >= f) }' || {
+    echo "coverage ${total}% is below the ${coverage_floor}% floor" >&2
+    exit 1
+}
+
+echo "==> fuzz quick pass (15s per decoder)"
+go test -fuzz=FuzzIPFIXDecode -fuzztime=15s -run '^$' ./internal/ipfix
+go test -fuzz=FuzzBMPDecode -fuzztime=15s -run '^$' ./internal/bmp
+
+echo "==> tipsybench -quick"
+benchout=$(mktemp -d)
+go run ./cmd/tipsybench -quick -out "$benchout/bench.json"
+rm -rf "$benchout"
 
 echo "==> chaos soak smoke"
 go test -run TestChaosSoak -short -count=1 ./internal/chaos
