@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: SchemaVersion, Date: "2026-08-06", Seed: 1, Config: "quick",
+		GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		Stages: []StageResult{
+			{Name: "generate", Items: 1000, WallNs: 80e6},
+			{Name: "ingest", Items: 50000, WallNs: 200e6},
+		},
+		TotalWallNs: 280e6,
+		Env:         EnvSummary{Flows: 1000, Links: 40, TrainRecords: 9000},
+		Metrics:     map[string]int64{"pipeline_records_raw_total": 50000},
+		Accuracy:    map[string]float64{"k1": 0.77, "k3": 0.89},
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	res := Compare(sampleReport(), sampleReport(), 0.25)
+	if len(res.Mismatches) != 0 || len(res.Warnings) != 0 {
+		t.Errorf("identical reports diff: %+v", res)
+	}
+}
+
+func TestCompareDeterministicMismatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string // substring of the mismatch
+	}{
+		{"stage items", func(r *Report) { r.Stages[1].Items = 49999 }, "stage ingest items"},
+		{"env", func(r *Report) { r.Env.TrainRecords = 1 }, "env:"},
+		{"accuracy value", func(r *Report) { r.Accuracy["k3"] = 0.5 }, "accuracy[k3]"},
+		{"metric missing", func(r *Report) { delete(r.Metrics, "pipeline_records_raw_total") }, "absent in current"},
+		{"metric extra", func(r *Report) { r.Metrics["pipeline_flows_total"] = 7 }, "absent in prior"},
+		{"stage renamed", func(r *Report) { r.Stages[0].Name = "gen" }, "stage 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := sampleReport()
+			tc.mutate(cur)
+			res := Compare(sampleReport(), cur, 0.25)
+			if len(res.Mismatches) == 0 {
+				t.Fatal("no mismatch reported")
+			}
+			found := false
+			for _, m := range res.Mismatches {
+				if strings.Contains(m, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no mismatch containing %q: %v", tc.want, res.Mismatches)
+			}
+		})
+	}
+}
+
+func TestCompareIdentityShortCircuits(t *testing.T) {
+	cur := sampleReport()
+	cur.Seed = 2
+	cur.Stages[0].Items = 123 // must not be reached
+	res := Compare(sampleReport(), cur, 0.25)
+	if len(res.Mismatches) != 1 || !strings.Contains(res.Mismatches[0], "seed") {
+		t.Errorf("identity mismatch should short-circuit: %v", res.Mismatches)
+	}
+}
+
+func TestCompareTimingWarnings(t *testing.T) {
+	cur := sampleReport()
+	cur.Stages[1].WallNs = 300e6 // +50% on a 200ms stage
+	cur.TotalWallNs = 380e6      // +35.7%
+	res := Compare(sampleReport(), cur, 0.25)
+	if len(res.Mismatches) != 0 {
+		t.Fatalf("timing drift must not be a mismatch: %v", res.Mismatches)
+	}
+	if len(res.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want stage ingest + total", res.Warnings)
+	}
+	if !strings.Contains(res.Warnings[0], "stage ingest wall time +50.0%") {
+		t.Errorf("warning text: %q", res.Warnings[0])
+	}
+
+	// Within tolerance: silent.
+	cur = sampleReport()
+	cur.Stages[1].WallNs = 220e6
+	cur.TotalWallNs = 300e6
+	if res := Compare(sampleReport(), cur, 0.25); len(res.Warnings) != 0 {
+		t.Errorf("drift within tolerance warned: %v", res.Warnings)
+	}
+
+	// Sub-floor stages never warn, however large the relative delta.
+	cur = sampleReport()
+	cur.Stages[0].WallNs = 1e6
+	prior := sampleReport()
+	prior.Stages[0].WallNs = 1e3
+	prior.TotalWallNs = cur.TotalWallNs
+	if res := Compare(prior, cur, 0.25); len(res.Warnings) != 0 {
+		t.Errorf("sub-floor stage warned: %v", res.Warnings)
+	}
+}
+
+func TestCompareToolchainWarnings(t *testing.T) {
+	cur := sampleReport()
+	cur.GoVersion = "go1.25"
+	cur.GOARCH = "arm64"
+	res := Compare(sampleReport(), cur, 0.25)
+	if len(res.Mismatches) != 0 {
+		t.Fatalf("toolchain change must not fail: %v", res.Mismatches)
+	}
+	if len(res.Warnings) != 2 {
+		t.Errorf("warnings = %v, want go_version + platform", res.Warnings)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_prior.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Compare(rep, got, 0.25); len(res.Mismatches) != 0 || len(res.Warnings) != 0 {
+		t.Errorf("round-tripped report diffs: %+v", res)
+	}
+
+	if _, err := loadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loadReport on a missing file did not error")
+	}
+}

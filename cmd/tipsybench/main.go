@@ -220,10 +220,12 @@ func run(cfg eval.EnvConfig, config string) *Report {
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "environment seed")
-		quick = flag.Bool("quick", false, "scaled-down cycle for CI gating")
-		full  = flag.Bool("full", false, "paper-scale environment (slow)")
-		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		seed      = flag.Int64("seed", 1, "environment seed")
+		quick     = flag.Bool("quick", false, "scaled-down cycle for CI gating")
+		full      = flag.Bool("full", false, "paper-scale environment (slow)")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		compare   = flag.String("compare", "", "prior BENCH_*.json to diff against: deterministic mismatch fails, timing drift warns")
+		timingTol = flag.Float64("timing-tol", 0.25, "relative wall-time drift tolerated by -compare before warning")
 	)
 	flag.Parse()
 
@@ -260,4 +262,26 @@ func main() {
 			s.Name, s.Items, float64(s.WallNs)/1e6, s.ItemsPerSec, float64(s.AllocBytes)/1e6)
 	}
 	fmt.Printf("total     %39.2fms  -> %s\n", float64(rep.TotalWallNs)/1e6, path)
+
+	if *compare != "" {
+		prior, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tipsybench:", err)
+			os.Exit(1)
+		}
+		res := Compare(prior, rep, *timingTol)
+		for _, w := range res.Warnings {
+			fmt.Printf("compare: warning: %s\n", w)
+		}
+		for _, m := range res.Mismatches {
+			fmt.Fprintf(os.Stderr, "compare: MISMATCH: %s\n", m)
+		}
+		if len(res.Mismatches) > 0 {
+			fmt.Fprintf(os.Stderr, "tipsybench: %d deterministic mismatch(es) vs %s\n",
+				len(res.Mismatches), *compare)
+			os.Exit(1)
+		}
+		fmt.Printf("compare: deterministic fields match %s (%d timing warning(s))\n",
+			*compare, len(res.Warnings))
+	}
 }

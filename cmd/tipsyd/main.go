@@ -34,7 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -48,6 +48,7 @@ import (
 	"tipsy/internal/dataset"
 	"tipsy/internal/features"
 	"tipsy/internal/geo"
+	"tipsy/internal/monitor"
 	"tipsy/internal/netsim"
 	"tipsy/internal/obsv"
 	"tipsy/internal/pipeline"
@@ -101,6 +102,17 @@ type server struct {
 	// pprofEnabled mounts net/http/pprof under /debug/pprof/.
 	pprofEnabled bool
 
+	// mon joins served predictions against later telemetry and keeps
+	// the sliding quality windows behind /debug/quality.
+	mon *monitor.Monitor
+	// retrainEvery retrains every N simulated days; a firing drift or
+	// post-withdrawal alarm forces a retrain sooner.
+	retrainEvery int
+
+	// Per-component structured loggers, all derived from the process
+	// default handler (-log-level / -log-json).
+	logMain, logTrain, logHTTP, logCkpt *slog.Logger
+
 	// checkpointPath, when set, is where retrains atomically persist
 	// the trained models and where a restart recovers them from.
 	checkpointPath string
@@ -122,51 +134,78 @@ type server struct {
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":8080", "HTTP listen address")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		trainDays  = flag.Int("train-days", 8, "sliding training window (days)")
-		dayEvery   = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
-		checkpoint = flag.String("checkpoint", "", "path for atomic model checkpoints (empty disables)")
-		staleAfter = flag.Int("stale-after", 72, "simulated hours before the model counts as stale (0 disables)")
-		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		listen       = flag.String("listen", ":8080", "HTTP listen address")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		trainDays    = flag.Int("train-days", 8, "sliding training window (days)")
+		dayEvery     = flag.Duration("day-every", 10*time.Second, "wall-clock time per simulated day")
+		retrainEvery = flag.Int("retrain-every", 1, "retrain every N simulated days (drift alarms retrain sooner)")
+		checkpoint   = flag.String("checkpoint", "", "path for atomic model checkpoints (empty disables)")
+		staleAfter   = flag.Int("stale-after", 72, "simulated hours before the model counts as stale (0 disables)")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	slog.SetDefault(newLogger(os.Stderr, *logLevel, *logJSON))
 
 	s := newServer(*seed, *trainDays)
 	s.checkpointPath = *checkpoint
 	s.staleAfter = wan.Hour(*staleAfter)
 	s.pprofEnabled = *pprofFlag
+	if *retrainEvery > 0 {
+		s.retrainEvery = *retrainEvery
+	}
 
 	if s.checkpointPath != "" {
 		switch err := s.recoverCheckpoint(); {
 		case err == nil:
-			log.Printf("recovered checkpoint from %s (trained at simulated hour %d)",
-				s.checkpointPath, s.trainedAt)
+			s.logCkpt.Info("recovered checkpoint",
+				"path", s.checkpointPath, "trained_at_hour", s.trainedAt)
 		case os.IsNotExist(err):
-			log.Printf("no checkpoint at %s; starting cold", s.checkpointPath)
+			s.logCkpt.Info("no checkpoint; starting cold", "path", s.checkpointPath)
 		default:
-			log.Printf("checkpoint at %s unusable (%v); starting cold", s.checkpointPath, err)
+			s.logCkpt.Warn("checkpoint unusable; starting cold",
+				"path", s.checkpointPath, "err", err)
 		}
 	}
 
 	if s.recovered {
 		// The recovered models serve immediately; the retrain loop
 		// refills the sliding window as simulated days pass.
-		log.Printf("serving from recovered checkpoint; skipping bootstrap")
+		s.logMain.Info("serving from recovered checkpoint; skipping bootstrap")
 	} else {
-		log.Printf("bootstrapping: simulating %d days of telemetry", *trainDays)
+		s.logMain.Info("bootstrapping", "sim_days", *trainDays)
 		s.advanceDays(*trainDays)
 		s.retrain()
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	log.Printf("tipsyd listening on %s (%d links, one simulated day per %v)",
-		*listen, s.sim.NumLinks(), *dayEvery)
+	s.logMain.Info("tipsyd listening",
+		"addr", *listen, "links", s.sim.NumLinks(), "day_every", *dayEvery)
 	if err := run(ctx, s, *listen, *dayEvery); err != nil {
-		log.Fatal(err)
+		s.logMain.Error("tipsyd failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("tipsyd shut down cleanly")
+	s.logMain.Info("tipsyd shut down cleanly")
+}
+
+// newLogger builds the process-wide slog handler from the -log-level
+// and -log-json flags. An unknown level falls back to info.
+func newLogger(w *os.File, level string, jsonOut bool) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
 }
 
 // run serves the API and the retrain loop until the HTTP server fails
@@ -181,11 +220,26 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 		defer close(done)
 		ticker := time.NewTicker(dayEvery)
 		defer ticker.Stop()
+		days := 0 // simulated days since the last retrain
 		for {
 			select {
 			case <-ticker.C:
 				s.advanceDays(1)
+				days++
+				// Sustained drift or a post-withdrawal collapse pulls
+				// the retrain forward: a stale model is the one thing a
+				// retrain is guaranteed to fix.
+				forced := s.mon.AlarmFiring(monitor.AlarmDrift) ||
+					s.mon.AlarmFiring(monitor.AlarmPostWithdrawal)
+				if days < s.retrainEvery && !forced {
+					continue
+				}
+				if forced && days < s.retrainEvery {
+					s.logTrain.Warn("quality alarm forcing early retrain",
+						"days_since_retrain", days, "retrain_every", s.retrainEvery)
+				}
 				s.retrain()
+				days = 0
 			case <-stop:
 				return
 			}
@@ -203,7 +257,7 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 	case err = <-errCh:
 		// The listener died on its own; nothing to drain.
 	case <-ctx.Done():
-		log.Printf("shutdown signal received; draining")
+		s.logMain.Info("shutdown signal received; draining")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		err = srv.Shutdown(sctx)
 		cancel()
@@ -213,7 +267,7 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 	<-done
 
 	if cerr := s.saveCheckpoint(); cerr != nil {
-		log.Printf("final checkpoint failed: %v", cerr)
+		s.logCkpt.Error("final checkpoint failed", "err", cerr)
 		if err == nil {
 			err = cerr
 		}
@@ -228,6 +282,12 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 // server around it. Until the first retrain, queries are answered by
 // the GeoNearest fallback and /healthz reports degraded.
 func newServer(seed int64, trainDays int) *server {
+	return newServerCfg(seed, trainDays, monitor.DefaultConfig())
+}
+
+// newServerCfg is newServer with an explicit monitor configuration,
+// so tests can tighten the quality-window geometry.
+func newServerCfg(seed int64, trainDays int, mcfg monitor.Config) *server {
 	metros := geo.World()
 	g := topology.Generate(topology.TestGenConfig(seed), metros)
 	w := traffic.Generate(traffic.TestConfig(seed+10), g, metros)
@@ -237,13 +297,39 @@ func newServer(seed int64, trainDays int) *server {
 	sim := netsim.New(cfg, g, metros, w)
 
 	reg := obsv.NewRegistry()
+	if mcfg.LinkMeta == nil {
+		mcfg.LinkMeta = linkMeta(sim)
+	}
+	logger := slog.Default()
 	return &server{
-		sim:       sim,
-		metros:    metros,
-		trainDays: trainDays,
-		reg:       reg,
-		met:       newServerMetrics(reg),
-		geoFall:   core.NewGeoNearest(sim, metros),
+		sim:          sim,
+		metros:       metros,
+		trainDays:    trainDays,
+		reg:          reg,
+		met:          newServerMetrics(reg),
+		mon:          monitor.New(mcfg, reg),
+		retrainEvery: 1,
+		logMain:      logger.With("component", "main"),
+		logTrain:     logger.With("component", "train"),
+		logHTTP:      logger.With("component", "http"),
+		logCkpt:      logger.With("component", "checkpoint"),
+		geoFall:      core.NewGeoNearest(sim, metros),
+	}
+}
+
+// linkMeta resolves a link to its metro and peer-AS kind — the
+// monitor's quality-slice dimensions.
+func linkMeta(sim *netsim.Sim) func(wan.LinkID) (geo.MetroID, string) {
+	return func(id wan.LinkID) (geo.MetroID, string) {
+		l, ok := sim.Link(id)
+		if !ok {
+			return 0, "unknown"
+		}
+		kind := "unknown"
+		if as, ok := sim.Graph().AS(l.PeerAS); ok {
+			kind = as.Kind.String()
+		}
+		return l.Metro, kind
 	}
 }
 
@@ -267,6 +353,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/quality", s.handleQuality)
 	if s.pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -278,14 +365,19 @@ func (s *server) mux() *http.ServeMux {
 }
 
 // advanceDays simulates n more days of traffic into the record store.
+// The drained records double as ground truth: the aggregator streams
+// them to the monitor, which joins them against outstanding
+// predictions before the simulated clock advances past their hours.
 func (s *server) advanceDays(n int) {
 	s.mu.Lock()
 	from := s.simulated
 	s.mu.Unlock()
 	to := from + wan.Hour(n*24)
 	agg := pipeline.NewAggregatorOn(s.reg, s.sim.GeoIP(), s.sim.DstMetadata)
+	agg.SetTruthSink(s.mon)
 	s.sim.Run(netsim.RunOptions{From: from, To: to, Sink: agg})
 	recs := agg.Records()
+	s.mon.AdvanceTo(to)
 	s.mu.Lock()
 	s.records = append(s.records, recs...)
 	s.simulated = to
@@ -317,10 +409,40 @@ func (s *server) retrain() {
 	s.trainedAt = now
 	s.tuples = hAP.NumTuples() + hAL.NumTuples() + hA.NumTuples()
 	s.recovered = false
+	tuples := s.tuples
 	s.mu.Unlock()
-	log.Printf("retrained at simulated hour %d on %d records (%d tuples)", now, len(recs), s.tuples)
+	// The freshly trained model defines the new quality baseline (and
+	// disarms any post-withdrawal watch); shadow predictions from it
+	// are what next day's telemetry will be joined against.
+	s.mon.FreezeBaseline(now)
+	s.shadowPredict(now, recs)
+	s.logTrain.Info("retrained",
+		"hour", now, "records", len(recs), "tuples", tuples)
 	if err := s.saveCheckpoint(); err != nil {
-		log.Printf("checkpoint failed: %v", err)
+		s.logCkpt.Error("checkpoint failed", "err", err)
+	}
+}
+
+// shadowSampleCap bounds how many distinct flows each retrain grades.
+const shadowSampleCap = 256
+
+// shadowPredict records a deterministic sample of the training
+// window's flows as served predictions, so the monitor has joinable
+// predictions even when no external client is querying. The sample
+// keeps the first sighting of each distinct flow in record order, so
+// same-seed runs grade the same flows.
+func (s *server) shadowPredict(now wan.Hour, recs []features.Record) {
+	seen := make(map[features.FlowFeatures]bool, shadowSampleCap)
+	for _, rec := range recs {
+		if seen[rec.Flow] {
+			continue
+		}
+		seen[rec.Flow] = true
+		preds, rung := s.ladder(core.Query{Flow: rec.Flow, K: 3}, false)
+		s.mon.RecordPrediction(now, rec.Flow, rung, preds)
+		if len(seen) >= shadowSampleCap {
+			return
+		}
 	}
 }
 
@@ -384,37 +506,58 @@ func (s *server) recoverCheckpoint() error {
 // and /metrics, and each attempted rung's latency lands in its
 // tipsyd_rung_*_ns histogram.
 func (s *server) predict(q core.Query) ([]core.Prediction, string) {
+	return s.ladder(q, true)
+}
+
+// ladder is the fallback walk itself. count=false skips the serving
+// counters and latency histograms: monitor shadow samples grade model
+// quality and must not skew the client-facing serving metrics.
+func (s *server) ladder(q core.Query, count bool) ([]core.Prediction, string) {
 	s.mu.RLock()
 	model, histA, geoFall := s.model, s.histA, s.geoFall
 	s.mu.RUnlock()
 	if model != nil {
 		start := time.Now()
 		preds := model.Predict(q)
-		s.met.rungEnsemble.Observe(time.Since(start).Nanoseconds())
+		if count {
+			s.met.rungEnsemble.Observe(time.Since(start).Nanoseconds())
+		}
 		if len(preds) > 0 {
-			s.met.ensemble.Inc()
+			if count {
+				s.met.ensemble.Inc()
+			}
 			return preds, "ensemble"
 		}
 	}
 	if histA != nil {
 		start := time.Now()
 		preds := histA.Predict(q)
-		s.met.rungHistorical.Observe(time.Since(start).Nanoseconds())
+		if count {
+			s.met.rungHistorical.Observe(time.Since(start).Nanoseconds())
+		}
 		if len(preds) > 0 {
-			s.met.historical.Inc()
+			if count {
+				s.met.historical.Inc()
+			}
 			return preds, "historical"
 		}
 	}
 	if geoFall != nil {
 		start := time.Now()
 		preds := geoFall.Predict(q)
-		s.met.rungGeo.Observe(time.Since(start).Nanoseconds())
+		if count {
+			s.met.rungGeo.Observe(time.Since(start).Nanoseconds())
+		}
 		if len(preds) > 0 {
-			s.met.geo.Inc()
+			if count {
+				s.met.geo.Inc()
+			}
 			return preds, "geo"
 		}
 	}
-	s.met.none.Inc()
+	if count {
+		s.met.none.Inc()
+	}
 	return nil, "none"
 }
 
@@ -454,17 +597,33 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"fallbacks":        s.fallbackSnapshot(),
 	}
 	s.mu.RUnlock()
+	// The monitor's verdict annotates health: a model that is fresh
+	// but predicting badly is degraded too.
+	qDegraded, qReason := s.mon.Degraded()
+	body["quality_degraded"] = qDegraded
+	if qDegraded {
+		body["quality_reason"] = qReason
+		if !degraded {
+			degraded, reason = true, "prediction quality: "+qReason
+		}
+	}
 	if degraded {
 		body["status"] = "degraded"
 		body["reason"] = reason
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		if err := json.NewEncoder(w).Encode(body); err != nil {
-			log.Printf("write response: %v", err)
+			s.logHTTP.Error("write response", "err", err)
 		}
 		return
 	}
-	writeJSON(w, body)
+	s.writeJSON(w, body)
+}
+
+// handleQuality serves the monitor's full quality report: windowed
+// accuracy, slices, drift vs. baseline, and alarm states.
+func (s *server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.mon.Quality())
 }
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -474,7 +633,7 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "model not ready", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"name":       s.model.Name(),
 		"tuples":     s.tuples,
 		"trained_at": s.trainedAt,
@@ -496,7 +655,7 @@ func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
 		l, _ := s.sim.Link(id)
 		out = append(out, linkJSON{l.ID, l.Router, uint16(l.Metro), uint32(l.PeerAS), l.Capacity})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // handleSample returns a few flow tuples present in the training
@@ -530,7 +689,7 @@ func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // predictRequest mirrors how the CMS queries TIPSY (§4): a set of
@@ -597,12 +756,21 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	tr.Mark("feature_encode")
+	s.mu.RLock()
+	now := s.simulated
+	s.mu.RUnlock()
 	resp := predictResponse{Shifted: make(map[wan.LinkID]float64)}
 	for i, f := range req.Flows {
 		preds, rung := s.predict(core.Query{
 			Flow: flows[i], K: req.K,
 			Exclude: func(l wan.LinkID) bool { return excluded[l] },
 		})
+		// Feed the quality monitor — but only unconstrained queries:
+		// what-if queries that exclude links are answered against a
+		// counterfactual topology and would skew the joined accuracy.
+		if len(req.ExcludeLinks) == 0 {
+			s.mon.RecordPrediction(now, flows[i], rung, preds)
+		}
 		var result struct {
 			Flow  int    `json:"flow"`
 			Model string `json:"model"`
@@ -626,7 +794,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.Mark("predict")
 	tr.Publish(s.reg, "tipsyd_predict")
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func parseIPv4(s string) (uint32, error) {
@@ -640,9 +808,9 @@ func parseIPv4(s string) (uint32, error) {
 	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("write response: %v", err)
+		s.logHTTP.Error("write response", "err", err)
 	}
 }

@@ -208,13 +208,25 @@ func majorityDown(exclude func(wan.LinkID, wan.Hour) bool, hours []wan.Hour) fun
 // "60% of this flow arrives on L1" earns at most 60% of the flow on
 // L1 even when queried at k=1 — which keeps accuracy monotone in k.
 func credit(preds []core.Prediction, k int, g *Group) float64 {
+	return CreditBytes(preds, k, g.Links, g.Total)
+}
+
+// CreditBytes is the §5.1.2 credit computation shared by this offline
+// harness and the online quality monitor: given a prediction list, a
+// top-k cutoff, and the actual per-link byte distribution of the
+// group (with its byte total), it returns the credited bytes
+// Σ min(predicted bytes, actual bytes) over the first k predictions.
+// Accuracy is credited bytes over total actual bytes; keeping this as
+// the single implementation guarantees offline and online accuracy
+// agree by construction.
+func CreditBytes(preds []core.Prediction, k int, links map[wan.LinkID]float64, total float64) float64 {
 	n := len(preds)
 	if k > 0 && n > k {
 		n = k
 	}
 	var c float64
 	for _, p := range preds[:n] {
-		c += minF(p.Frac*g.Total, g.Links[p.Link])
+		c += minF(p.Frac*total, links[p.Link])
 	}
 	return c
 }

@@ -181,3 +181,28 @@ func TestGroupByFlowHourSeparatesHours(t *testing.T) {
 		t.Fatalf("want 3 per-hour groups, got %d", len(groups))
 	}
 }
+
+// TestCreditBytesShared pins the exported credit computation the
+// online monitor reuses: Σ min(predicted bytes, actual bytes) over
+// the first k predictions.
+func TestCreditBytesShared(t *testing.T) {
+	links := map[wan.LinkID]float64{1: 600, 2: 300, 3: 100}
+	preds := []core.Prediction{
+		{Link: 1, Frac: 0.5}, // min(500, 600) = 500
+		{Link: 3, Frac: 0.3}, // min(300, 100) = 100
+		{Link: 9, Frac: 0.2}, // absent from truth: 0
+	}
+	if got := CreditBytes(preds, 1, links, 1000); got != 500 {
+		t.Errorf("k=1 credit = %v, want 500", got)
+	}
+	if got := CreditBytes(preds, 3, links, 1000); got != 600 {
+		t.Errorf("k=3 credit = %v, want 600", got)
+	}
+	// k=0 means no truncation; empty predictions earn nothing.
+	if got := CreditBytes(preds, 0, links, 1000); got != 600 {
+		t.Errorf("k=0 credit = %v, want 600", got)
+	}
+	if got := CreditBytes(nil, 3, links, 1000); got != 0 {
+		t.Errorf("empty predictions credit = %v, want 0", got)
+	}
+}

@@ -85,6 +85,16 @@ func Rules() []Rule {
 			SkipTests: true,
 			Check:     checkMetrics,
 		},
+		{
+			Name: "slog",
+			Doc:  "flag legacy log package calls in instrumented packages; they log through log/slog",
+			Dirs: []string{
+				"cmd/tipsyd", "cmd/tipsybench",
+				"internal/monitor", "internal/obsv", "internal/pipeline",
+			},
+			SkipTests: true,
+			Check:     checkSlog,
+		},
 	}
 }
 

@@ -162,6 +162,10 @@ func f(xs []int, wg *sync.WaitGroup) {
 type collector struct{ recordCount uint64 }
 func (c *collector) inc() { c.recordCount++ }
 `, "bare counter field"},
+		{"slog", `package p
+import "log"
+func f() { log.Printf("hello") }
+`, "legacy log.Printf"},
 	}
 	for i, tc := range cases {
 		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)

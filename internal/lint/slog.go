@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkSlog enforces the structured-logging migration: instrumented
+// packages log through log/slog (levelled, per-component, JSON-ready),
+// so any call through the legacy log package — log.Printf, log.Fatal,
+// log.New, ... — is flagged. Identification is type-based, not
+// name-based: a local variable or package named log is fine; only
+// selectors resolving to the imported "log" package are findings.
+func checkSlog(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "log" {
+				return true
+			}
+			report(sel.Pos(),
+				"legacy log.%s call; instrumented packages log through log/slog with a per-component logger",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,13 @@
+// Package fixture logs through the legacy log package: unlevelled,
+// unstructured, invisible to the -log-level / -log-json flags.
+package fixture
+
+import "log"
+
+func serve(addr string) {
+	log.Printf("listening on %s", addr)
+	if addr == "" {
+		log.Fatal("no listen address")
+	}
+	log.Println("serving")
+}

@@ -1,0 +1,18 @@
+// Package fixture logs through log/slog. The local value named log
+// proves the rule identifies the stdlib package by type resolution,
+// not by identifier spelling.
+package fixture
+
+import "log/slog"
+
+type prefixLogger struct{}
+
+func (prefixLogger) Printf(string, ...any) {}
+
+func serve(addr string) {
+	logger := slog.Default().With("component", "serve")
+	logger.Info("listening", "addr", addr)
+
+	var log prefixLogger
+	log.Printf("not the stdlib logger")
+}

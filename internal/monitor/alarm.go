@@ -1,0 +1,81 @@
+package monitor
+
+import "tipsy/internal/wan"
+
+// Alarm names. Each surfaces as a 0/1 gauge monitor_alarm_<name> on
+// the registry and as an entry in the /debug/quality report.
+const (
+	// AlarmAccuracyFloor fires when the sliding window's top-3
+	// accuracy sinks below the configured floor.
+	AlarmAccuracyFloor = "accuracy_floor"
+	// AlarmDrift fires when the window's top-3 accuracy falls more
+	// than DriftThreshold below the baseline frozen at last retrain —
+	// the slow routing-policy-drift failure mode.
+	AlarmDrift = "drift"
+	// AlarmPostWithdrawal fires when accuracy over the hours after a
+	// noted prefix withdrawal collapses relative to the baseline — the
+	// paper's headline failure mode (§5: accuracy collapses after
+	// prefix withdrawals until the next retrain).
+	AlarmPostWithdrawal = "post_withdrawal"
+	// AlarmJoinStarvation fires when predictions are outstanding but
+	// no ground truth has joined for StarvationHours — the telemetry
+	// feedback loop is broken, so quality is unobservable.
+	AlarmJoinStarvation = "join_starvation"
+)
+
+// alarm is one threshold alarm with hysteresis: the breach condition
+// must hold for fireAfter consecutive hourly evaluations to fire, and
+// must be clear for clearAfter consecutive evaluations to clear, so a
+// single noisy hour neither raises nor silences it.
+type alarm struct {
+	name       string
+	fireAfter  int
+	clearAfter int
+
+	breaches int // consecutive breached evaluations
+	oks      int // consecutive clear evaluations
+	firing   bool
+	since    wan.Hour // hour the alarm started firing
+	reason   string   // latest breach description
+}
+
+// observe feeds one hourly evaluation into the state machine and
+// reports whether the firing state transitioned.
+func (a *alarm) observe(h wan.Hour, breached bool, reason string) bool {
+	if breached {
+		a.breaches++
+		a.oks = 0
+		a.reason = reason
+		if !a.firing && a.breaches >= a.fireAfter {
+			a.firing = true
+			a.since = h
+			return true
+		}
+		return false
+	}
+	a.oks++
+	a.breaches = 0
+	if a.firing && a.oks >= a.clearAfter {
+		a.firing = false
+		a.reason = ""
+		return true
+	}
+	return false
+}
+
+// AlarmStatus is one alarm's externally visible state.
+type AlarmStatus struct {
+	Name   string   `json:"name"`
+	Firing bool     `json:"firing"`
+	Since  wan.Hour `json:"since_hour"` // meaningful only while firing
+	Reason string   `json:"reason,omitempty"`
+}
+
+func (a *alarm) status() AlarmStatus {
+	s := AlarmStatus{Name: a.name, Firing: a.firing}
+	if a.firing {
+		s.Since = a.since
+		s.Reason = a.reason
+	}
+	return s
+}

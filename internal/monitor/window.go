@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"sort"
+
+	"tipsy/internal/geo"
+	"tipsy/internal/wan"
+)
+
+// cell accumulates joined quality over some slice of traffic: how
+// many (hour, flow) groups joined, the actual bytes they carried, and
+// the bytes credited to the served predictions at top-1 and top-3.
+type cell struct {
+	groups int64
+	bytes  float64
+	cred1  float64
+	cred3  float64
+}
+
+func (c *cell) add(o cell) {
+	c.groups += o.groups
+	c.bytes += o.bytes
+	c.cred1 += o.cred1
+	c.cred3 += o.cred3
+}
+
+// top1 and top3 are byte-weighted accuracy — the same ratio
+// eval.Accuracy reports offline.
+func (c cell) top1() float64 {
+	if c.bytes <= 0 {
+		return 0
+	}
+	return c.cred1 / c.bytes
+}
+
+func (c cell) top3() float64 {
+	if c.bytes <= 0 {
+		return 0
+	}
+	return c.cred3 / c.bytes
+}
+
+// bucket is one simulated hour of joined quality, sliced three ways.
+// Buckets live in a ring indexed by hour modulo the window length;
+// writing a new hour into a slot evicts the hour WindowHours earlier.
+type bucket struct {
+	hour    wan.Hour // -1 while the slot has never been written
+	overall cell
+	byMetro map[geo.MetroID]cell
+	byKind  map[string]cell
+	byRung  map[string]cell
+}
+
+func (b *bucket) reset(h wan.Hour) {
+	b.hour = h
+	b.overall = cell{}
+	b.byMetro = nil
+	b.byKind = nil
+	b.byRung = nil
+}
+
+// totals is the sum of the live buckets of a window (or a frozen
+// snapshot of one, used as the drift baseline).
+type totals struct {
+	overall cell
+	byMetro map[geo.MetroID]cell
+	byKind  map[string]cell
+	byRung  map[string]cell
+}
+
+func newTotals() totals {
+	return totals{
+		byMetro: make(map[geo.MetroID]cell),
+		byKind:  make(map[string]cell),
+		byRung:  make(map[string]cell),
+	}
+}
+
+func (t *totals) addBucket(b *bucket) {
+	t.overall.add(b.overall)
+	for k, c := range b.byMetro {
+		e := t.byMetro[k]
+		e.add(c)
+		t.byMetro[k] = e
+	}
+	for k, c := range b.byKind {
+		e := t.byKind[k]
+		e.add(c)
+		t.byKind[k] = e
+	}
+	for k, c := range b.byRung {
+		e := t.byRung[k]
+		e.add(c)
+		t.byRung[k] = e
+	}
+}
+
+// windowTotals sums the buckets covering hours (h-WindowHours, h].
+// Slots still holding older hours (not yet overwritten) are skipped,
+// so eviction is by hour arithmetic, not by slot reuse.
+func (m *Monitor) windowTotals(h wan.Hour) totals {
+	t := newTotals()
+	lo := h - wan.Hour(m.cfg.WindowHours)
+	for i := range m.ring {
+		b := &m.ring[i]
+		if b.hour < 0 || b.hour <= lo || b.hour > h {
+			continue
+		}
+		t.addBucket(b)
+	}
+	return t
+}
+
+// SliceQuality is one slice's joined accuracy in a report.
+type SliceQuality struct {
+	Key    string  `json:"key"`
+	Groups int64   `json:"groups"`
+	Bytes  float64 `json:"bytes"`
+	Top1   float64 `json:"top1"`
+	Top3   float64 `json:"top3"`
+}
+
+func sliceReport[K comparable](cells map[K]cell, keyOf func(K) string) []SliceQuality {
+	out := make([]SliceQuality, 0, len(cells))
+	for k, c := range cells {
+		out = append(out, SliceQuality{
+			Key: keyOf(k), Groups: c.groups, Bytes: c.bytes,
+			Top1: c.top1(), Top3: c.top3(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

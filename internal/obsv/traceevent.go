@@ -1,0 +1,66 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace_event entry: a complete ("X") slice
+// with microsecond timestamp and duration, the format Perfetto and
+// chrome://tracing load directly.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Ts   float64 `json:"ts"`  // microseconds from the earliest trace start
+	Dur  float64 `json:"dur"` // microseconds
+}
+
+// WriteTraceEvents renders the traces as a Chrome trace_event JSON
+// array for Perfetto / chrome://tracing. Each trace becomes one
+// thread lane (tid 1, 2, ...); its spans are contiguous complete
+// events, offset so every trace starts relative to the earliest start
+// among them — concurrent request traces line up on a shared
+// timeline. Traces with no completed spans are skipped.
+func WriteTraceEvents(w io.Writer, traces ...*Trace) error {
+	var events []traceEvent
+	var base int64
+	haveBase := false
+	for _, t := range traces {
+		if len(t.spans) == 0 {
+			continue
+		}
+		if !haveBase || t.start < base {
+			base = t.start
+			haveBase = true
+		}
+	}
+	tid := 0
+	for _, t := range traces {
+		if len(t.spans) == 0 {
+			continue
+		}
+		tid++
+		offset := t.start - base
+		for _, s := range t.spans {
+			events = append(events, traceEvent{
+				Name: s.Stage,
+				Cat:  "tipsy",
+				Ph:   "X",
+				PID:  1,
+				TID:  tid,
+				Ts:   float64(offset) / 1e3,
+				Dur:  float64(s.Ns) / 1e3,
+			})
+			offset += s.Ns
+		}
+	}
+	if events == nil {
+		events = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}

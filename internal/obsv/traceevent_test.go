@@ -1,0 +1,70 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// stepClock returns a fake nanosecond clock starting at base that
+// advances by step on every reading.
+func stepClock(base, step int64) func() int64 {
+	now := base - step
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	// Trace A starts at t=0 with two 1ms stages; trace B starts 500µs
+	// later with one 2ms stage.
+	a := NewTraceClock(stepClock(0, 1_000_000))
+	a.Mark("encode")
+	a.Mark("predict")
+	b := NewTraceClock(stepClock(500_000, 2_000_000))
+	b.Mark("retrain")
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3:\n%s", len(events), buf.String())
+	}
+
+	check := func(i int, name string, tid, ts, dur float64) {
+		t.Helper()
+		e := events[i]
+		if e["name"] != name || e["tid"] != tid || e["ts"] != ts || e["dur"] != dur {
+			t.Errorf("event %d = %v, want name=%s tid=%v ts=%v dur=%v", i, e, name, tid, ts, dur)
+		}
+		if e["ph"] != "X" || e["cat"] != "tipsy" || e["pid"] != 1.0 {
+			t.Errorf("event %d envelope = %v", i, e)
+		}
+	}
+	// Trace A's spans are contiguous from the shared origin; trace B is
+	// offset by its later start.
+	check(0, "encode", 1, 0, 1000)
+	check(1, "predict", 1, 1000, 1000)
+	check(2, "retrain", 2, 500, 2000)
+}
+
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	empty := NewTraceClock(func() int64 { return 0 })
+	if err := WriteTraceEvents(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("span-less trace produced events: %v", events)
+	}
+}

@@ -23,6 +23,17 @@ import (
 // region and service type.
 type Metadata func(dstAddr uint32) (wan.Region, wan.ServiceType, bool)
 
+// TruthSink receives the ground-truth feature records the aggregator
+// drains — the (hour, flow, link, bytes) tuples that say where each
+// flow aggregate actually ingressed. The online quality monitor
+// implements this to join served predictions against reality; the
+// aggregator always knew the actual ingress link of every flow, it
+// just never fed it back until now. Records arrive in the same
+// deterministic order Records returns them.
+type TruthSink interface {
+	ObserveTruth(rec features.Record)
+}
+
 // aggKey indexes one hourly aggregate.
 type aggKey struct {
 	hour wan.Hour
@@ -54,9 +65,10 @@ type Aggregator struct {
 	geoip *geo.GeoIP
 	meta  Metadata
 
-	mu  sync.Mutex
-	acc map[aggKey]float64
-	m   aggregatorMetrics
+	mu    sync.Mutex
+	acc   map[aggKey]float64
+	m     aggregatorMetrics
+	truth TruthSink
 }
 
 // NewAggregator builds an aggregator joining against the given Geo-IP
@@ -104,18 +116,34 @@ func (a *Aggregator) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) 
 	a.m.pending.Set(int64(len(a.acc)))
 }
 
+// SetTruthSink registers a sink that receives every drained record as
+// ground truth. Set it before the drain whose records it should see.
+func (a *Aggregator) SetTruthSink(ts TruthSink) {
+	a.mu.Lock()
+	a.truth = ts
+	a.mu.Unlock()
+}
+
 // Records drains the aggregator, returning the hourly feature records
-// in deterministic order (hour, then feature tuple, then link).
+// in deterministic order (hour, then feature tuple, then link). When
+// a truth sink is registered, the drained records are also streamed
+// to it in the same order.
 func (a *Aggregator) Records() []features.Record {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	out := make([]features.Record, 0, len(a.acc))
 	for k, b := range a.acc {
 		out = append(out, features.Record{Hour: k.hour, Flow: k.flow, Link: k.link, Bytes: b})
 	}
 	a.acc = make(map[aggKey]float64)
 	a.m.pending.Set(0)
+	truth := a.truth
+	a.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return lessRecord(&out[i], &out[j]) })
+	if truth != nil {
+		for i := range out {
+			truth.ObserveTruth(out[i])
+		}
+	}
 	return out
 }
 

@@ -144,3 +144,36 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, recs)
 	}
 }
+
+// recordingSink captures ObserveTruth calls for the truth-sink test.
+type recordingSink struct{ recs []features.Record }
+
+func (r *recordingSink) ObserveTruth(rec features.Record) { r.recs = append(r.recs, rec) }
+
+func TestAggregatorStreamsTruthOnDrain(t *testing.T) {
+	g := geo.NewGeoIP(geo.World(), 0, 1)
+	a := NewAggregator(g, staticMeta(1, 1))
+	sink := &recordingSink{}
+	a.SetTruthSink(sink)
+
+	rec := ipfix.FlowRecord{SrcAddr: 0x0b000001, DstAddr: 40 << 24, Octets: 100}
+	a.Record(2, 1, &rec)
+	a.Record(1, 3, &rec)
+	if len(sink.recs) != 0 {
+		t.Fatal("truth streamed before drain")
+	}
+
+	out := a.Records()
+	if !reflect.DeepEqual(sink.recs, out) {
+		t.Errorf("truth sink saw %+v, drain returned %+v", sink.recs, out)
+	}
+	if len(sink.recs) != 2 || sink.recs[0].Hour != 1 {
+		t.Errorf("truth not in deterministic drain order: %+v", sink.recs)
+	}
+
+	// Draining again streams nothing new.
+	a.Records()
+	if len(sink.recs) != 2 {
+		t.Errorf("empty drain streamed truth: %d records", len(sink.recs))
+	}
+}

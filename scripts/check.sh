@@ -62,9 +62,14 @@ echo "==> fuzz quick pass (15s per decoder)"
 go test -fuzz=FuzzIPFIXDecode -fuzztime=15s -run '^$' ./internal/ipfix
 go test -fuzz=FuzzBMPDecode -fuzztime=15s -run '^$' ./internal/bmp
 
-echo "==> tipsybench -quick"
+echo "==> tipsybench -quick (twice: second run compared against first)"
 benchout=$(mktemp -d)
 go run ./cmd/tipsybench -quick -out "$benchout/bench.json"
+# Re-run the same seeded cycle and diff: the deterministic fields must
+# reproduce exactly (-compare exits non-zero otherwise); timing drift
+# only warns. The tolerance is loose because CI machines are noisy.
+go run ./cmd/tipsybench -quick -out "$benchout/bench2.json" \
+    -compare "$benchout/bench.json" -timing-tol 1.0
 rm -rf "$benchout"
 
 echo "==> chaos soak smoke"
