@@ -258,10 +258,10 @@ func main() {
 		os.Exit(1)
 	}
 	for _, s := range rep.Stages {
-		fmt.Printf("%-9s %10d items  %12.2fms  %10.0f items/s  %8.1f MB alloc\n",
+		fmt.Fprintf(os.Stdout, "%-9s %10d items  %12.2fms  %10.0f items/s  %8.1f MB alloc\n",
 			s.Name, s.Items, float64(s.WallNs)/1e6, s.ItemsPerSec, float64(s.AllocBytes)/1e6)
 	}
-	fmt.Printf("total     %39.2fms  -> %s\n", float64(rep.TotalWallNs)/1e6, path)
+	fmt.Fprintf(os.Stdout, "total     %39.2fms  -> %s\n", float64(rep.TotalWallNs)/1e6, path)
 
 	if *compare != "" {
 		prior, err := loadReport(*compare)
@@ -271,7 +271,7 @@ func main() {
 		}
 		res := Compare(prior, rep, *timingTol)
 		for _, w := range res.Warnings {
-			fmt.Printf("compare: warning: %s\n", w)
+			fmt.Fprintf(os.Stdout, "compare: warning: %s\n", w)
 		}
 		for _, m := range res.Mismatches {
 			fmt.Fprintf(os.Stderr, "compare: MISMATCH: %s\n", m)
@@ -281,7 +281,7 @@ func main() {
 				len(res.Mismatches), *compare)
 			os.Exit(1)
 		}
-		fmt.Printf("compare: deterministic fields match %s (%d timing warning(s))\n",
+		fmt.Fprintf(os.Stdout, "compare: deterministic fields match %s (%d timing warning(s))\n",
 			*compare, len(res.Warnings))
 	}
 }

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	tipsylint [-json] [-rules determinism,locks,wire,goroutine,metrics] ./...
+//	tipsylint [-json|-sarif] [-suppressions] [-rules determinism,locks,...] ./...
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
 // on usage or load errors. Individual findings are silenced in the
 // source with a justified directive on or above the offending line:
 //
 //	//lint:ignore <rule> <reason>
+//
+// -suppressions inventories those directives instead of linting and
+// exits non-zero if any directive lacks a reason.
 package main
 
 import (
@@ -33,9 +36,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tipsylint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	suppressions := fs.Bool("suppressions", false,
+		"list //lint:ignore directives instead of linting; exit 1 on any reasonless directive")
 	ruleList := fs.String("rules", "", "comma-separated rule subset (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tipsylint [-json] [-rules list] packages...")
+		fmt.Fprintln(stderr, "usage: tipsylint [-json|-sarif] [-suppressions] [-rules list] packages...")
 		fs.PrintDefaults()
 		fmt.Fprintln(stderr, "\nrules:")
 		for _, r := range lint.Rules() {
@@ -83,28 +89,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tipsylint:", err)
 		return 2
 	}
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		ps, err := loader.LoadDir(dir)
-		if err != nil {
-			fmt.Fprintf(stderr, "tipsylint: %s: %v\n", dir, err)
-			return 2
+	pkgs, err := loader.LoadDirs(dirs, 0)
+	if err != nil {
+		fmt.Fprintln(stderr, "tipsylint:", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrs {
+			fmt.Fprintf(stderr, "tipsylint: typecheck: %v\n", terr)
 		}
-		for _, p := range ps {
-			for _, terr := range p.TypeErrs {
-				fmt.Fprintf(stderr, "tipsylint: typecheck: %v\n", terr)
-			}
+	}
+
+	if *suppressions {
+		if bad := lint.WriteSuppressions(stdout, lint.CollectSuppressions(pkgs)); bad {
+			return 1
 		}
-		pkgs = append(pkgs, ps...)
+		return 0
 	}
 
 	diags := lint.Run(pkgs, rules)
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if err := lint.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "tipsylint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, diags, rules); err != nil {
+			fmt.Fprintln(stderr, "tipsylint:", err)
+			return 2
+		}
+	default:
 		lint.WriteText(stdout, diags)
 	}
 	if len(diags) > 0 {

@@ -17,6 +17,20 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
+// TestRepoHasZeroSuppressions pins the suppression budget at zero:
+// every convention violation the analyzers find must be fixed in the
+// source, never silenced. If a directive ever becomes unavoidable,
+// this count is the place where adding it is a reviewed decision.
+func TestRepoHasZeroSuppressions(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-suppressions", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("tipsylint -suppressions exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "" {
+		t.Errorf("repository carries //lint:ignore directives (want zero):\n%s", got)
+	}
+}
+
 // TestJSONOutputIsEmptyArrayWhenClean pins the -json contract
 // downstream tooling parses.
 func TestJSONOutputIsEmptyArrayWhenClean(t *testing.T) {

@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The deadlock rule builds the module-wide lock-acquisition graph:
+// which lock is held when code that may acquire another lock runs.
+// Nodes are (mutex-bearing type, mutex field) pairs — field-level, so
+// a type with several independent mutexes (netsim.Sim) does not
+// self-collide. Two findings come out of the graph:
+//
+//   - self-deadlock: a method calls another method on the SAME
+//     receiver that (transitively) re-acquires the mutex already
+//     held. sync.Mutex and sync.RWMutex are not reentrant, so this
+//     hangs with certainty once reached.
+//   - lock-order cycle: lock A is held while acquiring lock B on one
+//     path and B is held while acquiring A on another. Each such pair
+//     can interleave into a deadlock under concurrency.
+
+// lockID identifies one mutex: the named type owning it plus the
+// field path, e.g. {"tipsy/internal/obsv.Registry", "mu"}.
+type lockID struct {
+	Type  string
+	Field string
+}
+
+func (l lockID) String() string { return trimModule(l.Type) + "." + l.Field }
+
+// lockEdge is one "held A, acquired B" observation.
+type lockEdge struct {
+	from, to lockID
+	pos      token.Pos // the acquisition (or call) site
+	fn       string    // enclosing function ID
+	via      string    // callee ID when the acquisition is transitive
+}
+
+// deadlockState carries the analysis across its passes.
+type deadlockState struct {
+	prog *Program
+	// acquires: function ID -> locks it may take, directly or through
+	// in-module calls (fixpoint over the call graph); the Pos is a
+	// representative direct-acquisition site.
+	acquires map[string]map[lockID]token.Pos
+}
+
+// lockedMutex matches a Lock/RLock/Unlock/RUnlock call on expression
+// X.field where X has a named struct type — returning the lock's
+// identity, the receiver expression, and the flavor.
+func lockedMutex(p *Package, call *ast.CallExpr, names ...string) (lockID, string, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, "", false, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return lockID{}, "", false, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockID{}, "", false, false
+	}
+	read := strings.HasPrefix(sel.Sel.Name, "R")
+	// sel.X should itself be a selector: holder.field
+	fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, "", false, false
+	}
+	holderType, ok := p.Info.Types[fieldSel.X]
+	if !ok {
+		return lockID{}, "", false, false
+	}
+	name := namedTypeID(holderType.Type)
+	if name == "" {
+		return lockID{}, "", false, false
+	}
+	return lockID{Type: name, Field: fieldSel.Sel.Name}, types.ExprString(fieldSel.X), read, true
+}
+
+// shortPos renders pos as base-filename:line — stable across
+// checkouts, unlike an absolute Position string.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// namedTypeID returns the stable "path.Name" of t's named type,
+// looking through pointers, or "".
+func namedTypeID(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// directAcquires scans one function body for mutex acquisitions
+// (FuncLits excluded — goroutine bodies have their own life cycle).
+func directAcquires(n *FuncNode) map[lockID]token.Pos {
+	out := map[lockID]token.Pos{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, _, _, ok := lockedMutex(n.Pkg, call, "Lock", "RLock"); ok {
+			if _, dup := out[id]; !dup {
+				out[id] = call.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// buildAcquires computes the transitive lock-acquisition sets with a
+// fixpoint over the call graph.
+func (st *deadlockState) buildAcquires() {
+	st.acquires = map[string]map[lockID]token.Pos{}
+	for _, id := range st.prog.Graph.Order {
+		st.acquires[id] = directAcquires(st.prog.Graph.Nodes[id])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range st.prog.Graph.Order {
+			n := st.prog.Graph.Nodes[id]
+			mine := st.acquires[id]
+			for _, site := range n.Sites {
+				for _, callee := range site.Callees {
+					for l := range st.acquires[callee.ID] {
+						if _, ok := mine[l]; !ok {
+							mine[l] = site.Call.Pos()
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// heldEvent is one lock-relevant point in a body, in source order.
+type heldEvent struct {
+	pos  token.Pos
+	kind int // hLock, hUnlock, hDeferUnlock, hCall
+	lock lockID
+	expr string // printed holder expression, e.g. "s" in s.mu.Lock()
+	read bool
+	site *CallSite
+}
+
+const (
+	hLock = iota
+	hUnlock
+	hDeferUnlock
+	hCall
+)
+
+// scanEvents linearizes one body's lock operations and call sites.
+func scanEvents(n *FuncNode) []heldEvent {
+	var evs []heldEvent
+	sites := map[*ast.CallExpr]*CallSite{}
+	for _, s := range n.Sites {
+		sites[s.Call] = s
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if id, expr, read, ok := lockedMutex(n.Pkg, node.Call, "Unlock", "RUnlock"); ok {
+				evs = append(evs, heldEvent{pos: node.Pos(), kind: hDeferUnlock, lock: id, expr: expr, read: read})
+				return false
+			}
+		case *ast.CallExpr:
+			if id, expr, read, ok := lockedMutex(n.Pkg, node, "Lock", "RLock"); ok {
+				evs = append(evs, heldEvent{pos: node.Pos(), kind: hLock, lock: id, expr: expr, read: read})
+				return true
+			}
+			if id, expr, read, ok := lockedMutex(n.Pkg, node, "Unlock", "RUnlock"); ok {
+				evs = append(evs, heldEvent{pos: node.Pos(), kind: hUnlock, lock: id, expr: expr, read: read})
+				return true
+			}
+			if s, ok := sites[node]; ok {
+				evs = append(evs, heldEvent{pos: node.Pos(), kind: hCall, site: s})
+			}
+		}
+		return true
+	})
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// checkDeadlock is the rule entry point. scope is ignored for graph
+// construction (locks are global state) and only gates reporting via
+// the driver.
+func checkDeadlock(prog *Program, scope []*Package, report ReportFunc) {
+	st := &deadlockState{prog: prog}
+	st.buildAcquires()
+
+	var edges []lockEdge
+	for _, id := range prog.Graph.Order {
+		n := prog.Graph.Nodes[id]
+		edges = append(edges, st.scanFunc(n, report)...)
+	}
+
+	// Lock-order cycles: group edges by unordered pair and flag pairs
+	// seen in both directions.
+	type pairKey struct{ a, b lockID }
+	norm := func(x, y lockID) pairKey {
+		if y.Type < x.Type || (y.Type == x.Type && y.Field < x.Field) {
+			x, y = y, x
+		}
+		return pairKey{x, y}
+	}
+	byPair := map[pairKey][]lockEdge{}
+	for _, e := range edges {
+		if e.from == e.to {
+			continue // same-type different-receiver; handled above
+		}
+		byPair[norm(e.from, e.to)] = append(byPair[norm(e.from, e.to)], e)
+	}
+	keys := make([]pairKey, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.a != b.a {
+			return a.a.Type < b.a.Type || (a.a.Type == b.a.Type && a.a.Field < b.a.Field)
+		}
+		return a.b.Type < b.b.Type || (a.b.Type == b.b.Type && a.b.Field < b.b.Field)
+	})
+	for _, k := range keys {
+		group := byPair[k]
+		var fwd, rev *lockEdge
+		for i := range group {
+			e := &group[i]
+			if e.from == k.a && fwd == nil {
+				fwd = e
+			}
+			if e.from == k.b && rev == nil {
+				rev = e
+			}
+		}
+		if fwd == nil || rev == nil {
+			continue
+		}
+		first, second := fwd, rev
+		if posLess(prog.Fset, second.pos, first.pos) {
+			first, second = second, first
+		}
+		report(first.pos,
+			"lock order cycle: %s holds %s while acquiring %s, but %s (at %s) holds %s while acquiring %s; acquire these locks in one global order",
+			trimModule(first.fn), first.from, first.to,
+			trimModule(second.fn), shortPos(prog.Fset, second.pos), second.from, second.to)
+	}
+}
+
+// scanFunc walks one function, tracking which locks are held at each
+// call/acquisition, emitting self-deadlock findings directly and
+// returning cross-lock edges for cycle detection.
+func (st *deadlockState) scanFunc(n *FuncNode, report ReportFunc) []lockEdge {
+	evs := scanEvents(n)
+	if len(evs) == 0 {
+		return nil
+	}
+	var edges []lockEdge
+	type held struct {
+		lock lockID
+		expr string
+		read bool
+	}
+	var stack []held
+	release := func(lock lockID, expr string) {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].lock == lock && stack[i].expr == expr {
+				stack = append(stack[:i], stack[i+1:]...)
+				return
+			}
+		}
+	}
+	recvName := receiverIdent(n.Decl)
+	for _, ev := range evs {
+		switch ev.kind {
+		case hLock:
+			// Acquiring while something else is held: ordering edges.
+			for _, h := range stack {
+				if h.lock != ev.lock {
+					edges = append(edges, lockEdge{from: h.lock, to: ev.lock, pos: ev.pos, fn: n.ID})
+				}
+			}
+			stack = append(stack, held{ev.lock, ev.expr, ev.read})
+		case hUnlock:
+			release(ev.lock, ev.expr)
+		case hDeferUnlock:
+			// Deferred: held until function end; nothing to do now.
+		case hCall:
+			if len(stack) == 0 {
+				continue
+			}
+			callees := ev.site.Callees
+			for _, callee := range callees {
+				acq := st.acquires[callee.ID]
+				if len(acq) == 0 {
+					continue
+				}
+				// Deterministic iteration over the acquired set.
+				ids := make([]lockID, 0, len(acq))
+				for l := range acq {
+					ids = append(ids, l)
+				}
+				sort.Slice(ids, func(i, j int) bool {
+					if ids[i].Type != ids[j].Type {
+						return ids[i].Type < ids[j].Type
+					}
+					return ids[i].Field < ids[j].Field
+				})
+				for _, l := range ids {
+					for _, h := range stack {
+						if h.lock == l {
+							// Re-acquiring a held lock. Certain
+							// deadlock when it is the same receiver.
+							if ev.site.SameRecv && h.expr == recvName && recvName != "" {
+								report(ev.pos,
+									"calling %s while %s.%s is held; the callee (re)acquires %s and sync mutexes are not reentrant — this self-deadlocks",
+									trimModule(callee.ID), h.expr, l.Field, l)
+							}
+							continue
+						}
+						edges = append(edges, lockEdge{from: h.lock, to: l, pos: ev.pos, fn: n.ID, via: callee.ID})
+					}
+				}
+			}
+		}
+	}
+	return edges
+}

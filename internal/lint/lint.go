@@ -24,7 +24,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Rule is one analyzer family.
+// Rule is one analyzer family. A rule is either syntactic (Check:
+// a per-package AST walk) or deep (DeepCheck: runs once over the
+// whole loaded module with the call graph and dataflow substrate
+// available); exactly one of the two is set.
 type Rule struct {
 	Name string
 	Doc  string
@@ -38,6 +41,54 @@ type Rule struct {
 	// as the code they pin down.
 	TestsEverywhere bool
 	Check           func(p *Package, report ReportFunc)
+	// DeepCheck is the deep-tier entry point. scope holds the
+	// packages the rule's Dirs admit (all packages when Dirs is nil);
+	// prog gives the whole-module view for cross-package resolution.
+	// Findings are filtered against scope, test-file policy, and
+	// suppressions by the driver, so a DeepCheck may over-report.
+	DeepCheck func(prog *Program, scope []*Package, report ReportFunc)
+}
+
+// Program is the whole-module view handed to deep rules: every loaded
+// package, the intra-module call graph, and memoized dataflow
+// summaries. All packages must come from one Loader (they share its
+// FileSet). A Program is built per Run call and is not written to
+// after construction except through its private memo caches, which
+// are only touched by the sequential deep-rule pass.
+type Program struct {
+	Pkgs   []*Package
+	Fset   *token.FileSet
+	Graph  *CallGraph
+	byFile map[string]*Package
+
+	// Memoized per-function summaries, filled lazily by the rules.
+	seedSums map[string]*seedSummary
+	sinkSums map[string]*sinkSummary
+}
+
+// NewProgram indexes pkgs for deep analysis.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:     pkgs,
+		Graph:    buildCallGraph(pkgs),
+		byFile:   map[string]*Package{},
+		seedSums: map[string]*seedSummary{},
+		sinkSums: map[string]*sinkSummary{},
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			prog.byFile[p.Fset.Position(f.Pos()).Filename] = p
+		}
+	}
+	return prog
+}
+
+// pkgOf returns the package owning the file at pos.
+func (prog *Program) pkgOf(pos token.Position) *Package {
+	return prog.byFile[pos.Filename]
 }
 
 // ReportFunc records a finding at pos.
@@ -87,13 +138,34 @@ func Rules() []Rule {
 		},
 		{
 			Name: "slog",
-			Doc:  "flag legacy log package calls in instrumented packages; they log through log/slog",
+			Doc:  "flag legacy log package calls and bare fmt printing in instrumented packages; they log through log/slog",
 			Dirs: []string{
 				"cmd/tipsyd", "cmd/tipsybench",
 				"internal/monitor", "internal/obsv", "internal/pipeline",
+				"internal/chaos",
 			},
 			SkipTests: true,
 			Check:     checkSlog,
+		},
+		{
+			Name:      "maporder",
+			Doc:       "flag map iterations whose order can reach a slice, writer, encoder, or return value unsorted in deterministic-scope packages",
+			Dirs:      simDirs,
+			SkipTests: true,
+			DeepCheck: checkMapOrder,
+		},
+		{
+			Name:      "deadlock",
+			Doc:       "flag lock-order cycles across mutex-bearing types and self-deadlocking method calls",
+			SkipTests: true,
+			DeepCheck: checkDeadlock,
+		},
+		{
+			Name:            "seedflow",
+			Doc:             "require rand seeds to trace to a config field or parameter, never wall clock, entropy, or process identity — even through helpers",
+			Dirs:            simDirs,
+			TestsEverywhere: true,
+			DeepCheck:       checkSeedFlow,
 		},
 	}
 }
@@ -112,12 +184,16 @@ func (r Rule) appliesTo(p *Package) bool {
 
 // Run applies the rules to the packages, honouring per-rule scoping
 // and //lint:ignore suppressions, and returns findings sorted by
-// position.
+// position. Syntactic rules walk each package independently; deep
+// rules run once over a Program built from the full package set.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	var diags []Diagnostic
 	for _, p := range pkgs {
 		ignores := collectIgnores(p)
 		for _, r := range rules {
+			if r.Check == nil {
+				continue
+			}
 			inScope := r.appliesTo(p)
 			if !inScope && !r.TestsEverywhere {
 				continue
@@ -142,6 +218,7 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 			})
 		}
 	}
+	diags = append(diags, runDeep(pkgs, rules)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -155,6 +232,60 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
+	return diags
+}
+
+// runDeep builds the Program (once) and runs every deep rule over
+// it, applying the same scope, test-file, and suppression policy as
+// the syntactic pass.
+func runDeep(pkgs []*Package, rules []Rule) []Diagnostic {
+	var deep []Rule
+	for _, r := range rules {
+		if r.DeepCheck != nil {
+			deep = append(deep, r)
+		}
+	}
+	if len(deep) == 0 || len(pkgs) == 0 {
+		return nil
+	}
+	prog := NewProgram(pkgs)
+	allIgnores := ignoreSet{}
+	for _, p := range pkgs {
+		for file, lines := range collectIgnores(p) {
+			allIgnores[file] = lines
+		}
+	}
+	var diags []Diagnostic
+	for _, r := range deep {
+		var scope []*Package
+		for _, p := range pkgs {
+			if r.appliesTo(p) || r.TestsEverywhere {
+				scope = append(scope, p)
+			}
+		}
+		r.DeepCheck(prog, scope, func(pos token.Pos, format string, args ...any) {
+			position := prog.Fset.Position(pos)
+			owner := prog.pkgOf(position)
+			if owner == nil {
+				return
+			}
+			isTest := strings.HasSuffix(position.Filename, "_test.go")
+			if r.SkipTests && isTest {
+				return
+			}
+			if !r.appliesTo(owner) && !(r.TestsEverywhere && isTest) {
+				return
+			}
+			if allIgnores.suppressed(r.Name, position) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     position,
+				Rule:    r.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
+	}
 	return diags
 }
 

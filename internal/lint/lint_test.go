@@ -166,6 +166,32 @@ func (c *collector) inc() { c.recordCount++ }
 import "log"
 func f() { log.Printf("hello") }
 `, "legacy log.Printf"},
+		{"maporder", `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`, "the return value"},
+		{"deadlock", `package p
+import "sync"
+type T struct{ mu sync.Mutex; n int }
+func (t *T) Get() int { t.mu.Lock(); defer t.mu.Unlock(); return t.n }
+func (t *T) Bump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n = t.Get() + 1
+}
+`, "not reentrant"},
+		{"seedflow", `package p
+import ("math/rand"; "time")
+func f() *rand.Rand {
+	seed := time.Now().UnixNano()
+	return rand.New(rand.NewSource(seed))
+}
+`, "seeded from time.Now"},
 	}
 	for i, tc := range cases {
 		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)

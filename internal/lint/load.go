@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -46,6 +48,18 @@ type Loader struct {
 	std   types.Importer
 	cache map[string]*types.Package
 	busy  map[string]bool
+	// stdCache memoizes GOROOT type-checks in front of the source
+	// importer, so a standard-library package costs one check per
+	// loader no matter how many module packages import it.
+	stdCache map[string]*types.Package
+
+	// parsed caches each file's AST by path so a file read both as a
+	// dependency (test-free Import) and for analysis (LoadDir with
+	// tests) is parsed exactly once. mu guards it during the parallel
+	// parse stage of LoadDirs; type-checking itself stays sequential.
+	mu        sync.Mutex
+	parsed    map[string]*ast.File
+	parseErrs map[string]error
 }
 
 // NewLoader locates the enclosing module of dir and returns a loader
@@ -67,6 +81,9 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      map[string]*types.Package{},
 		busy:       map[string]bool{},
+		stdCache:   map[string]*types.Package{},
+		parsed:     map[string]*ast.File{},
+		parseErrs:  map[string]error{},
 	}, nil
 }
 
@@ -113,7 +130,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if path == l.ModulePath {
 			rel = "."
 		} else {
-			return l.std.Import(path)
+			if pkg, ok := l.stdCache[path]; ok {
+				return pkg, nil
+			}
+			pkg, err := l.std.Import(path)
+			if err == nil {
+				l.stdCache[path] = pkg
+			}
+			return pkg, err
 		}
 	}
 	if pkg, ok := l.cache[path]; ok {
@@ -142,14 +166,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses the Go files of dir, split into the primary
-// package's files (plus in-package tests when withTests is set) and
-// the files of an external _test package.
-func (l *Loader) parseDir(dir string, withTests bool) (main, xtest []*ast.File, err error) {
+// goFilePaths lists the Go source files of dir in directory order
+// (stable: os.ReadDir sorts by name).
+func goFilePaths(dir string, withTests bool) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	var paths []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
@@ -158,7 +182,43 @@ func (l *Loader) parseDir(dir string, withTests bool) (main, xtest []*ast.File, 
 		if !withTests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	return paths, nil
+}
+
+// parseFile parses path once per loader, returning the cached AST on
+// every later request. Safe for concurrent use.
+func (l *Loader) parseFile(path string) (*ast.File, error) {
+	l.mu.Lock()
+	if f, ok := l.parsed[path]; ok {
+		err := l.parseErrs[path]
+		l.mu.Unlock()
+		return f, err
+	}
+	l.mu.Unlock()
+	f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.parsed[path]; ok {
+		// Lost a parse race; keep the first result so every consumer
+		// sees one AST.
+		return prev, l.parseErrs[path]
+	}
+	l.parsed[path], l.parseErrs[path] = f, err
+	return f, err
+}
+
+// parseDir parses the Go files of dir, split into the primary
+// package's files (plus in-package tests when withTests is set) and
+// the files of an external _test package.
+func (l *Loader) parseDir(dir string, withTests bool) (main, xtest []*ast.File, err error) {
+	paths, err := goFilePaths(dir, withTests)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, path := range paths {
+		f, err := l.parseFile(path)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -197,6 +257,72 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 	return out, nil
 }
 
+// LoadDirs loads every directory, parallelizing the parse stage with
+// a bounded worker pool and then type-checking sequentially in the
+// given directory order — so the returned packages (and therefore all
+// diagnostics) are deterministic regardless of worker scheduling.
+// workers <= 0 means GOMAXPROCS. Parsing is where the fan-out pays:
+// each file is read and parsed exactly once into the shared cache,
+// and the dependency-closure walk during type-checking then hits that
+// cache instead of re-parsing.
+func (l *Loader) LoadDirs(dirs []string, workers int) ([]*Package, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Stage 1: collect every file path, then parse with the pool.
+	var paths []string
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := goFilePaths(abs, true)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		paths = append(paths, ps...)
+	}
+	jobs := make(chan string)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for path := range jobs {
+				if _, err := l.parseFile(path); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, path := range paths {
+		jobs <- path
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: type-check in input order. Sequential on purpose —
+	// go/types and the source importer are not concurrency-safe, and
+	// the shared import cache means each dependency is checked once
+	// anyway.
+	var out []*Package
+	for _, dir := range dirs {
+		ps, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
 // LoadSource type-checks a single in-memory file as its own package —
 // the entry point the analyzer tests use for inline fixtures.
 func (l *Loader) LoadSource(filename, src string) (*Package, error) {
@@ -224,9 +350,21 @@ func (l *Loader) check(files []*ast.File, dir, rel string) *Package {
 		Importer: l,
 		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
 	}
+	// Check under the full import path so objects here and objects
+	// reached through the import cache agree on Pkg().Path() — the
+	// deep tier keys its call graph on that identity.
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + rel
+	}
+	if strings.HasSuffix(p.Name, "_test") {
+		// External test packages import the package under test, so
+		// they cannot share its path.
+		path += "_test"
+	}
 	// The returned package is usable even when checking reported
 	// errors; rules degrade gracefully on missing type info.
-	p.Types, _ = conf.Check(rel, l.Fset, files, p.Info)
+	p.Types, _ = conf.Check(path, l.Fset, files, p.Info)
 	p.Files = files
 	return p
 }

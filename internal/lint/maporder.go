@@ -1,0 +1,443 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The maporder rule guards the replay-determinism contract against
+// Go's randomized map iteration order. A range over a map is fine on
+// its own; it becomes a bug the moment the iteration order reaches
+// something order-sensitive — a slice that is returned or emitted, an
+// io.Writer, an encoder — without an interposed sort. The provenance
+// engine tracks the loop's key/value through locals, appends, string
+// formatting, and one in-module call hop; sort.* (and in-module
+// helpers that sort their argument) launder the order back to
+// deterministic.
+
+// sinkSummary is the memoized one-hop view of an in-module function:
+// which parameters it forwards into an order-sensitive sink, and
+// which slice parameters it sorts in place.
+type sinkSummary struct {
+	paramSink  map[int]string // param index -> sink description
+	paramSorts map[int]bool
+	busy       bool
+}
+
+// mapOrderHooks classifies calls for the provenance engine. depth
+// limits interprocedural recursion to the one call hop the rule
+// promises.
+type mapOrderHooks struct {
+	prog  *Program
+	pkg   *Package
+	depth int
+}
+
+func (h *mapOrderHooks) EvalCall(call *ast.CallExpr, recv tagSet, args []tagSet) []tagSet {
+	fn := calleeFunc(h.pkg, call)
+	if fn == nil {
+		return []tagSet{union(append(args, recv)...)}
+	}
+	if _, inModule := h.prog.Graph.Nodes[FuncID(fn)]; inModule {
+		// In-module results are treated as clean: a helper that
+		// builds an unsorted aggregate from a map gets flagged at its
+		// own range statement, so tracking its result here would
+		// double-report the same root cause.
+		return nil
+	}
+	// Out-of-module calls pass provenance through: fmt.Sprintf of a
+	// map key is still map-iteration data, strings.Join of a
+	// map-ordered slice is still map-ordered.
+	return []tagSet{union(append(args, recv)...)}
+}
+
+func (h *mapOrderHooks) RangeTags(rs *ast.RangeStmt, xTags tagSet, isMap bool) (key, val tagSet) {
+	if isMap {
+		key = singleton(Tag{Kind: TagMapKey, Site: rs.Pos()})
+		val = singleton(Tag{Kind: TagMapVal, Site: rs.Pos()})
+		return key, val
+	}
+	// Ranging over a slice: the index is clean; the element inherits
+	// the slice's provenance, with aggregate order turning back into
+	// per-element map-iteration tags (iterating an unsorted
+	// key slice yields keys in map order).
+	var elem tagSet
+	for t := range xTags {
+		if t.Kind == TagMapOrdered {
+			t = Tag{Kind: TagMapVal, Site: t.Site}
+		}
+		if elem == nil {
+			elem = tagSet{}
+		}
+		elem[t] = struct{}{}
+	}
+	return nil, elem
+}
+
+// sorterArg returns the expression a recognized sorting call orders,
+// or nil.
+func sorterArg(p *Package, call *ast.CallExpr) ast.Expr {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" ||
+		name == "Slice" || name == "SliceStable" || name == "Sort" || name == "Stable"):
+		arg := ast.Unparen(call.Args[0])
+		// sort.Sort(byName(keys)): look through the conversion to the
+		// underlying slice.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			if tv, ok := p.Info.Types[conv.Fun]; ok && tv.IsType() {
+				return conv.Args[0]
+			}
+		}
+		return arg
+	case path == "slices" && strings.HasPrefix(name, "Sort"):
+		return ast.Unparen(call.Args[0])
+	}
+	return nil
+}
+
+func (h *mapOrderHooks) CleanseArgs(call *ast.CallExpr) []ast.Expr {
+	if arg := sorterArg(h.pkg, call); arg != nil {
+		return []ast.Expr{arg}
+	}
+	if h.depth > 0 {
+		return nil
+	}
+	fn := calleeFunc(h.pkg, call)
+	if fn == nil {
+		return nil
+	}
+	node, ok := h.prog.Graph.Nodes[FuncID(fn)]
+	if !ok {
+		return nil
+	}
+	sum := h.prog.mapSinkSummary(node)
+	var out []ast.Expr
+	for i := range call.Args {
+		if sum.paramSorts[i] {
+			out = append(out, call.Args[i])
+		}
+	}
+	return out
+}
+
+// mapSinkSummary computes (and memoizes) the one-hop sink summary of
+// node.
+func (prog *Program) mapSinkSummary(node *FuncNode) *sinkSummary {
+	if sum, ok := prog.sinkSums[node.ID]; ok {
+		if sum.busy {
+			return &sinkSummary{}
+		}
+		return sum
+	}
+	prog.sinkSums[node.ID] = &sinkSummary{busy: true}
+	sum := &sinkSummary{paramSink: map[int]string{}, paramSorts: map[int]bool{}}
+	hooks := &mapOrderHooks{prog: prog, pkg: node.Pkg, depth: 1}
+	pv := analyzeFunc(node.Pkg, node.Decl, hooks)
+	pv.visit(func(s ast.Stmt, e env) {
+		inspectShallow(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg := sorterArg(node.Pkg, call); arg != nil {
+				for t := range pv.eval(arg, e) {
+					if t.Kind == TagParam && t.Index >= 0 {
+						sum.paramSorts[t.Index] = true
+					}
+				}
+				return true
+			}
+			desc, valueArgs := outputSink(prog, node.Pkg, call)
+			if desc == "" {
+				return true
+			}
+			for _, a := range valueArgs {
+				for t := range pv.eval(a, e) {
+					if t.Kind == TagParam && t.Index >= 0 {
+						if _, dup := sum.paramSink[t.Index]; !dup {
+							sum.paramSink[t.Index] = desc
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	prog.sinkSums[node.ID] = sum
+	return sum
+}
+
+// outputSink classifies a call as order-sensitive output, returning a
+// description and the arguments whose order matters ("" when the call
+// is not a sink).
+func outputSink(prog *Program, p *Package, call *ast.CallExpr) (string, []ast.Expr) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", nil
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "fmt" && (name == "Fprintf" || name == "Fprint" || name == "Fprintln"):
+		if len(call.Args) > 1 {
+			return "fmt." + name, call.Args[1:]
+		}
+		return "", nil
+	case path == "encoding/binary" && name == "Write":
+		if len(call.Args) > 2 {
+			return "binary.Write", call.Args[2:]
+		}
+		return "", nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return "", nil
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "EncodeElement":
+		return trimModule(FuncID(fn)), call.Args
+	}
+	return "", nil
+}
+
+// mapFinding is one candidate diagnostic, keyed by the range site.
+type mapFinding struct {
+	sinkDesc string
+	sinkLine int
+	order    int // arrival order for earliest-sink-wins
+}
+
+// checkMapOrder runs the rule over every function in scope containing
+// a map range.
+func checkMapOrder(prog *Program, scope []*Package, report ReportFunc) {
+	for _, p := range scope {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasMapRange(p, fd.Body) {
+					continue
+				}
+				hooks := &mapOrderHooks{prog: prog, pkg: p}
+				scanMapOrderBody(prog, p, fd, analyzeFunc(p, fd, hooks), hooks, report)
+			}
+		}
+	}
+}
+
+func hasMapRange(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[rs.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanMapOrderBody inspects one analyzed body, recording the first
+// sink each map range reaches, and recurses into closures.
+func scanMapOrderBody(prog *Program, p *Package, fd *ast.FuncDecl, pv *provenance, hooks *mapOrderHooks, report ReportFunc) {
+	findings := map[Tag]*mapFinding{}
+	record := func(tags tagSet, desc string, line int) {
+		for t := range tags {
+			switch t.Kind {
+			case TagMapKey, TagMapVal, TagMapOrdered:
+				site := Tag{Kind: TagMapKey, Site: t.Site} // collapse kinds per range
+				if _, dup := findings[site]; !dup {
+					findings[site] = &mapFinding{sinkDesc: desc, sinkLine: line, order: len(findings)}
+				}
+			}
+		}
+	}
+	line := func(n ast.Node) int { return p.Fset.Position(n.Pos()).Line }
+
+	type litWork struct {
+		lit *ast.FuncLit
+		e   env
+	}
+	var lits []litWork
+	// Field stores are judged at function exit, not at the store site:
+	// building a field slice in map order and sorting it two lines
+	// later is the standard collect-then-sort idiom. A candidate only
+	// becomes a finding if the field is still map-ordered when the
+	// function returns.
+	type fieldStore struct {
+		obj  types.Object
+		tag  Tag
+		desc string
+		line int
+	}
+	var fieldStores []fieldStore
+	pv.visit(func(s ast.Stmt, e env) {
+		if ret, ok := s.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				// Only aggregates leak iteration order out of a return:
+				// a bool or int computed FROM a map-ordered slice (a
+				// sort comparator, a length check) is order-blind.
+				if !orderedAggregate(p, res) {
+					continue
+				}
+				for t := range pv.eval(res, e) {
+					if t.Kind == TagMapOrdered {
+						record(singleton(t), "the return value", line(ret))
+					}
+				}
+			}
+		}
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !isSel {
+					continue
+				}
+				obj := pv.fieldObj(sel)
+				if obj == nil {
+					continue
+				}
+				for t := range pv.eval(as.Rhs[i], e) {
+					if t.Kind == TagMapOrdered {
+						fieldStores = append(fieldStores, fieldStore{
+							obj:  obj,
+							tag:  t,
+							desc: "the struct field " + types.ExprString(sel),
+							line: line(as),
+						})
+					}
+				}
+			}
+		}
+		inspectShallow(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lits = append(lits, litWork{lit, e.clone()})
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if desc, valueArgs := outputSink(prog, p, call); desc != "" {
+				for _, a := range valueArgs {
+					record(pv.eval(a, e), desc, line(call))
+				}
+				return true
+			}
+			// One call hop: a tainted argument handed to an in-module
+			// function that forwards it into a sink.
+			fn := calleeFunc(p, call)
+			if fn == nil {
+				return true
+			}
+			node, ok := prog.Graph.Nodes[FuncID(fn)]
+			if !ok || hooks.depth > 0 {
+				return true
+			}
+			var sum *sinkSummary
+			for i, a := range call.Args {
+				tags := pv.eval(a, e)
+				if !tags.has(TagMapKey) && !tags.has(TagMapVal) && !tags.has(TagMapOrdered) {
+					continue
+				}
+				if sum == nil {
+					sum = prog.mapSinkSummary(node)
+				}
+				if desc, ok := sum.paramSink[i]; ok {
+					record(tags, fmt.Sprintf("%s (via %s)", desc, trimModule(node.ID)), line(call))
+				}
+			}
+			return true
+		})
+	})
+	// Resolve field-store candidates against the exit environment: a
+	// store whose taint a later sort removed is the collect-then-sort
+	// idiom and stays silent.
+	if exit := pv.in[pv.cfg.Exit.Index]; exit != nil {
+		for _, fs := range fieldStores {
+			if _, still := exit[fs.obj][fs.tag]; still {
+				record(singleton(fs.tag), fs.desc, fs.line)
+			}
+		}
+	}
+
+	for _, w := range lits {
+		if hasMapRangeOrTaint(p, w.lit.Body, w.e) {
+			scanMapOrderBody(prog, p, fd, analyzeFuncLit(p, w.lit, w.e, hooks), hooks, report)
+		}
+	}
+
+	// Emit deterministically: by range position.
+	type emit struct {
+		t Tag
+		f *mapFinding
+	}
+	var out []emit
+	for t, f := range findings {
+		out = append(out, emit{t, f})
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].t.Site < out[i].t.Site {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	for _, e := range out {
+		report(e.t.Site,
+			"map iteration order reaches %s (line %d) unsorted; collect and sort the keys first so output is deterministic",
+			e.f.sinkDesc, e.f.sinkLine)
+	}
+}
+
+// orderedAggregate reports whether expr's static type can carry an
+// element order: slices, arrays, and strings. Scalars derived from a
+// map-ordered aggregate do not leak the order themselves.
+func orderedAggregate(p *Package, expr ast.Expr) bool {
+	// Info.TypeOf, not Info.Types: bare identifiers are recorded in
+	// Defs/Uses only.
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// hasMapRangeOrTaint decides whether a closure body is worth a
+// dataflow pass: it ranges over a map itself, or it captures
+// something already map-tainted.
+func hasMapRangeOrTaint(p *Package, body *ast.BlockStmt, captured env) bool {
+	if hasMapRange(p, body) {
+		return true
+	}
+	for _, tags := range captured {
+		if tags.has(TagMapKey) || tags.has(TagMapVal) || tags.has(TagMapOrdered) {
+			return true
+		}
+	}
+	return false
+}

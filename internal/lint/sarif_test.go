@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFGolden pins the SARIF 2.1.0 envelope byte-for-byte: rule
+// metadata from the registry, one result per diagnostic, and the
+// schema/version header code-scanning ingestion keys on.
+func TestSARIFGolden(t *testing.T) {
+	p, err := loader(t).LoadSource("sarif_fixture.go", `package p
+import "time"
+func f() int64 { return time.Now().Unix() }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []Rule{descope(ruleByName(t, "determinism"))}
+	diags := Run([]*Package{p}, rules)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, rules); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "sarif", "want.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from golden:\n--- want\n%s--- got\n%s", want, buf.Bytes())
+	}
+}
+
+// TestSuppressionInventory covers the -suppressions plumbing: justified
+// directives list cleanly, a reasonless directive is flagged invalid.
+func TestSuppressionInventory(t *testing.T) {
+	p, err := loader(t).LoadSource("sup_fixture.go", `package p
+import "time"
+
+//lint:ignore determinism fixture needs the wall clock
+func f() int64 { return time.Now().Unix() }
+
+//lint:ignore determinism
+func g() int64 { return time.Now().Unix() }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := CollectSuppressions([]*Package{p})
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(sups), sups)
+	}
+	if sups[0].Reason != "fixture needs the wall clock" {
+		t.Errorf("reason not captured: %+v", sups[0])
+	}
+	if sups[1].Reason != "" {
+		t.Errorf("reasonless directive not detected: %+v", sups[1])
+	}
+	var buf bytes.Buffer
+	if bad := WriteSuppressions(&buf, sups); !bad {
+		t.Error("WriteSuppressions did not flag the reasonless directive")
+	}
+	out := buf.String()
+	for _, want := range []string{"fixture needs the wall clock", "INVALID: no reason given"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The seedflow rule closes the gap the syntactic determinism check
+// leaves open: determinism.go only inspects the argument expression
+// of rand.New/rand.NewSource, so a wall-clock seed laundered through
+// a local variable or a helper function slips past. This rule runs
+// the provenance engine: every seed argument must trace back to a
+// configuration/struct field, a function parameter, or a constant —
+// never, through any chain of locals and in-module helpers, to
+// time.Now, time.Since, crypto/rand, or the process identity.
+
+// seedSummary is the memoized provenance of one function's results,
+// expressed over TagParam and TagNondet (clean facts are dropped).
+// busy guards recursive summary requests: a cycle resolves to clean,
+// keeping the analysis optimistic rather than divergent.
+type seedSummary struct {
+	tags tagSet
+	busy bool
+}
+
+// seedHooks classifies calls for the provenance engine.
+type seedHooks struct {
+	prog *Program
+	pkg  *Package
+}
+
+// nondetSource names the nondeterministic source a direct call
+// represents, or "".
+func nondetSource(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return "time." + name
+	case path == "crypto/rand":
+		return "crypto/rand." + name
+	case path == "os" && (name == "Getpid" || name == "Getppid"):
+		return "os." + name
+	}
+	return ""
+}
+
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func (h *seedHooks) EvalCall(call *ast.CallExpr, recv tagSet, args []tagSet) []tagSet {
+	fn := calleeFunc(h.pkg, call)
+	if fn == nil {
+		return []tagSet{union(append(args, recv)...)}
+	}
+	if src := nondetSource(fn); src != "" {
+		return []tagSet{singleton(Tag{Kind: TagNondet, Detail: src})}
+	}
+	if node, ok := h.prog.Graph.Nodes[FuncID(fn)]; ok {
+		// In-module helper: substitute the call's argument provenance
+		// into the callee's result summary.
+		sum := h.prog.seedResultSummary(node)
+		var parts []tagSet
+		for t := range sum {
+			switch t.Kind {
+			case TagNondet:
+				parts = append(parts, singleton(t))
+			case TagParam:
+				if t.Index == -1 {
+					parts = append(parts, recv)
+				} else if t.Index < len(args) {
+					parts = append(parts, args[t.Index])
+				}
+			}
+		}
+		return []tagSet{union(parts...)}
+	}
+	// Out-of-module call: assume a pure function of its operands, so
+	// nondeterminism in any operand flows through (hashing a
+	// timestamp does not clean it) and clean operands stay clean.
+	return []tagSet{union(append(args, recv)...)}
+}
+
+func (h *seedHooks) RangeTags(rs *ast.RangeStmt, xTags tagSet, isMap bool) (key, val tagSet) {
+	// Seed provenance passes through collections: iterating a slice
+	// of nondeterministic seeds yields nondeterministic elements.
+	return xTags, xTags
+}
+
+func (h *seedHooks) CleanseArgs(call *ast.CallExpr) []ast.Expr { return nil }
+
+// seedResultSummary computes (and memoizes) the union provenance of
+// node's results in terms of its own parameters and nondeterministic
+// sources.
+func (prog *Program) seedResultSummary(node *FuncNode) tagSet {
+	if sum, ok := prog.seedSums[node.ID]; ok {
+		if sum.busy {
+			return nil // recursion: optimistic clean
+		}
+		return sum.tags
+	}
+	prog.seedSums[node.ID] = &seedSummary{busy: true}
+	pv := analyzeFunc(node.Pkg, node.Decl, &seedHooks{prog: prog, pkg: node.Pkg})
+	var parts []tagSet
+	pv.visit(func(s ast.Stmt, e env) {
+		ret, ok := s.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) == 0 {
+			// Bare return with named results.
+			if node.Decl.Type.Results != nil {
+				for _, f := range node.Decl.Type.Results.List {
+					for _, name := range f.Names {
+						if obj := node.Pkg.Info.Defs[name]; obj != nil {
+							parts = append(parts, e[obj])
+						}
+					}
+				}
+			}
+			return
+		}
+		for _, res := range ret.Results {
+			parts = append(parts, pv.eval(res, e))
+		}
+	})
+	// Keep only the kinds a caller can act on.
+	var tags tagSet
+	for t := range union(parts...) {
+		if t.Kind == TagNondet || t.Kind == TagParam {
+			if tags == nil {
+				tags = tagSet{}
+			}
+			tags[t] = struct{}{}
+		}
+	}
+	prog.seedSums[node.ID] = &seedSummary{tags: tags}
+	return tags
+}
+
+// checkSeedFlow walks every function in scope that constructs a rand
+// source and verifies the seed argument's provenance.
+func checkSeedFlow(prog *Program, scope []*Package, report ReportFunc) {
+	for _, p := range scope {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !mentionsRand(fd) {
+					continue
+				}
+				checkSeedFunc(prog, p, fd, report)
+			}
+		}
+	}
+}
+
+// mentionsRand cheaply pre-filters: only bodies that call something
+// named New/NewSource/NewPCG/NewChaCha8 are worth a dataflow pass.
+func mentionsRand(fd *ast.FuncDecl) bool {
+	return mentionsRandBody(fd.Body)
+}
+
+func mentionsRandBody(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// seedConstructor reports whether call builds a rand source or
+// generator from an explicit seed, returning the seed arguments.
+func seedConstructor(p *Package, call *ast.CallExpr) ([]ast.Expr, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "math/rand" && name == "NewSource":
+		return call.Args, true
+	case path == "math/rand" && name == "New":
+		// rand.New(rand.NewSource(x)) is covered at the inner call;
+		// only a non-constructor argument needs checking here.
+		if len(call.Args) == 1 {
+			if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if ifn := calleeFunc(p, inner); ifn != nil && ifn.Pkg() != nil &&
+					ifn.Pkg().Path() == "math/rand" {
+					return nil, false
+				}
+			}
+		}
+		return call.Args, true
+	case path == "math/rand/v2" && (name == "NewPCG" || name == "NewChaCha8"):
+		return call.Args, true
+	}
+	return nil, false
+}
+
+func checkSeedFunc(prog *Program, p *Package, fd *ast.FuncDecl, report ReportFunc) {
+	hooks := &seedHooks{prog: prog, pkg: p}
+	seedScanBody(prog, p, analyzeFunc(p, fd, hooks), hooks, report)
+}
+
+// seedScanBody inspects one analyzed body for seed constructors and
+// recurses into the closures it creates, carrying the captured
+// environment in.
+func seedScanBody(prog *Program, p *Package, pv *provenance, hooks *seedHooks, report ReportFunc) {
+	type litWork struct {
+		lit *ast.FuncLit
+		e   env
+	}
+	var lits []litWork
+	pv.visit(func(s ast.Stmt, e env) {
+		inspectShallow(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lits = append(lits, litWork{lit, e.clone()})
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			seedArgs, ok := seedConstructor(p, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range seedArgs {
+				tags := pv.eval(arg, e)
+				if t, bad := tags.pick(TagNondet); bad {
+					report(call.Pos(),
+						"%s seeded from %s (transitively); seeds must come from a config field or parameter so runs replay byte-for-byte",
+						callName(call), t.Detail)
+					break
+				}
+			}
+			return true
+		})
+	})
+	for _, w := range lits {
+		if mentionsRandBody(w.lit.Body) {
+			seedScanBody(prog, p, analyzeFuncLit(p, w.lit, w.e, hooks), hooks, report)
+		}
+	}
+}
+
+// callName renders the callee for a diagnostic, e.g. "rand.NewSource".
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return strings.TrimSpace("call")
+}

@@ -8,9 +8,13 @@ import (
 // checkSlog enforces the structured-logging migration: instrumented
 // packages log through log/slog (levelled, per-component, JSON-ready),
 // so any call through the legacy log package — log.Printf, log.Fatal,
-// log.New, ... — is flagged. Identification is type-based, not
-// name-based: a local variable or package named log is fine; only
-// selectors resolving to the imported "log" package are findings.
+// log.New, ... — is flagged, as is bare fmt printing to stdout
+// (fmt.Print/Printf/Println), the historical blind spot that let
+// ad-hoc diagnostics bypass the logger. Identification is type-based,
+// not name-based: a local variable or package named log is fine; only
+// selectors resolving to the imported packages are findings. fmt's
+// Sprintf/Errorf/Fprintf families stay legal — only the stdout
+// printers side-step the logger.
 func checkSlog(p *Package, report ReportFunc) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -27,12 +31,22 @@ func checkSlog(p *Package, report ReportFunc) {
 				return true
 			}
 			pkg, ok := p.Info.Uses[id].(*types.PkgName)
-			if !ok || pkg.Imported().Path() != "log" {
+			if !ok {
 				return true
 			}
-			report(sel.Pos(),
-				"legacy log.%s call; instrumented packages log through log/slog with a per-component logger",
-				sel.Sel.Name)
+			switch pkg.Imported().Path() {
+			case "log":
+				report(sel.Pos(),
+					"legacy log.%s call; instrumented packages log through log/slog with a per-component logger",
+					sel.Sel.Name)
+			case "fmt":
+				switch sel.Sel.Name {
+				case "Print", "Printf", "Println":
+					report(sel.Pos(),
+						"bare fmt.%s to stdout; instrumented packages log through log/slog with a per-component logger",
+						sel.Sel.Name)
+				}
+			}
 			return true
 		})
 	}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Suppression is one //lint:ignore directive found in the source.
+type Suppression struct {
+	Pos    token.Position
+	Rule   string
+	Reason string // empty when the directive gives none — a violation
+}
+
+// CollectSuppressions lists every //lint:ignore directive in pkgs in
+// position order, including reasonless ones (which the run loop in
+// lint.go treats as void: they silence nothing, but they still clutter
+// the tree and are surfaced here so CI can reject them).
+func CollectSuppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					s := Suppression{Pos: p.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						s.Rule = fields[0]
+					}
+					if len(fields) > 1 {
+						s.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// WriteSuppressions prints one directive per line and reports whether
+// any directive is invalid (missing rule or reason).
+func WriteSuppressions(w io.Writer, sups []Suppression) (bad bool) {
+	for _, s := range sups {
+		switch {
+		case s.Rule == "":
+			fmt.Fprintf(w, "%s:%d: [?] INVALID: no rule or reason\n", s.Pos.Filename, s.Pos.Line)
+			bad = true
+		case s.Reason == "":
+			fmt.Fprintf(w, "%s:%d: [%s] INVALID: no reason given\n", s.Pos.Filename, s.Pos.Line, s.Rule)
+			bad = true
+		default:
+			fmt.Fprintf(w, "%s:%d: [%s] %s\n", s.Pos.Filename, s.Pos.Line, s.Rule, s.Reason)
+		}
+	}
+	return bad
+}

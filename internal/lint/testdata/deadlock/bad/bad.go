@@ -1,0 +1,62 @@
+// Package fixture contains the two deadlock shapes the rule hunts:
+// a method re-entering its own mutex through a helper call, and two
+// mutexes acquired in opposite orders on different paths.
+package fixture
+
+import "sync"
+
+// Store self-deadlocks: Flush takes the lock and then calls Len,
+// which takes it again. sync.Mutex is not reentrant.
+type Store struct {
+	mu    sync.Mutex
+	items []string
+}
+
+// Len acquires the lock on its own.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Flush calls Len while already holding s.mu.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Len() == 0 {
+		return
+	}
+	s.items = nil
+}
+
+// Pool and Queue acquire each other's locks in opposite orders.
+type Pool struct {
+	mu   sync.Mutex
+	free int
+}
+
+type Queue struct {
+	mu      sync.Mutex
+	pending int
+}
+
+// Drain locks the pool, then the queue.
+func Drain(p *Pool, q *Queue) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = 0
+	p.free++
+}
+
+// Refill locks the queue, then the pool — the opposite order, so the
+// two functions can deadlock against each other.
+func Refill(p *Pool, q *Queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free--
+	q.pending++
+}

@@ -1,0 +1,72 @@
+// Package fixture holds locks correctly: helpers are called after
+// release, lock-free variants exist for use under the lock, and all
+// multi-lock paths agree on one global order.
+package fixture
+
+import "sync"
+
+// Store releases before calling its locking helper, and uses a
+// lock-free variant while the lock is held.
+type Store struct {
+	mu    sync.Mutex
+	items []string
+}
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lenLocked()
+}
+
+// lenLocked must be called with s.mu held.
+func (s *Store) lenLocked() int { return len(s.items) }
+
+// Flush uses the locked variant inside the critical section.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lenLocked() == 0 {
+		return
+	}
+	s.items = nil
+}
+
+// Report takes the lock only after the helper returned.
+func (s *Store) Report() int {
+	n := s.Len()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = s.items[:0]
+	return n
+}
+
+// Pool and Queue are always acquired pool-first.
+type Pool struct {
+	mu   sync.Mutex
+	free int
+}
+
+type Queue struct {
+	mu      sync.Mutex
+	pending int
+}
+
+// Drain locks pool, then queue.
+func Drain(p *Pool, q *Queue) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = 0
+	p.free++
+}
+
+// Refill keeps the same pool-before-queue order.
+func Refill(p *Pool, q *Queue) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.free--
+	q.pending++
+}

@@ -1,0 +1,68 @@
+// Package fixture leaks map iteration order into every kind of sink
+// the maporder rule knows: returned slices, struct fields, writers,
+// encoders, and one-hop helper calls.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Keys returns the keys in map order — the caller sees a different
+// ordering every run.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Index caches the link list on the struct without ever sorting it.
+type Index struct {
+	links []string
+}
+
+// Rebuild stores a map-ordered slice into a field that outlives the
+// function.
+func (ix *Index) Rebuild(weights map[string]float64) {
+	ix.links = nil
+	for l := range weights {
+		ix.links = append(ix.links, l)
+	}
+}
+
+// Dump streams entries straight out of the range loop.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Render appends formatted rows to a builder inside the loop.
+func Render(m map[string]string) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(k + ":" + v + ";")
+	}
+	return b.String()
+}
+
+// emit is the helper Forward launders its slice through: one call hop
+// between the range and the writer.
+func emit(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// Forward collects in map order and hands the slice to a helper that
+// writes it.
+func Forward(w io.Writer, m map[string]bool) {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	emit(w, rows)
+}

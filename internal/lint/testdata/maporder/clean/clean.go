@@ -1,0 +1,76 @@
+// Package fixture shows the approved shapes: collect-then-sort, sort
+// laundering through helpers, and scalar derivations that cannot leak
+// an ordering.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys collects then sorts before returning.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index caches the link list on the struct, sorted.
+type Index struct {
+	links []string
+}
+
+// Rebuild stores the field in map order but sorts it before the
+// function returns — the standard collect-then-sort idiom.
+func (ix *Index) Rebuild(weights map[string]float64) {
+	ix.links = nil
+	for l := range weights {
+		ix.links = append(ix.links, l)
+	}
+	sort.Slice(ix.links, func(i, j int) bool { return ix.links[i] < ix.links[j] })
+}
+
+// Dump iterates the sorted key slice, so the output order is fixed.
+func Dump(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// orderRows is an in-module helper that sorts its argument in place:
+// callers handing it a map-ordered slice end up deterministic.
+func orderRows(rows []string) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+}
+
+// Forward launders the order through the sorting helper before the
+// write.
+func Forward(w io.Writer, m map[string]bool) {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	orderRows(rows)
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}
+
+// Count derives a scalar from the iteration — order-blind, no
+// finding.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -2,7 +2,10 @@
 // unstructured, invisible to the -log-level / -log-json flags.
 package fixture
 
-import "log"
+import (
+	"fmt"
+	"log"
+)
 
 func serve(addr string) {
 	log.Printf("listening on %s", addr)
@@ -10,4 +13,12 @@ func serve(addr string) {
 		log.Fatal("no listen address")
 	}
 	log.Println("serving")
+}
+
+// report writes ad-hoc diagnostics straight to stdout, bypassing the
+// log level and JSON flags entirely.
+func report(n int) {
+	fmt.Printf("processed %d\n", n)
+	fmt.Println("done")
+	fmt.Print("bye")
 }

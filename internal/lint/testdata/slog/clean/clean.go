@@ -3,7 +3,11 @@
 // not by identifier spelling.
 package fixture
 
-import "log/slog"
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
 
 type prefixLogger struct{}
 
@@ -15,4 +19,11 @@ func serve(addr string) {
 
 	var log prefixLogger
 	log.Printf("not the stdlib logger")
+}
+
+// render is formatting, not printing: the Sprintf/Fprintf families
+// stay legal, as does writing to an explicit writer.
+func render(w io.Writer, n int) string {
+	fmt.Fprintf(w, "processed %d\n", n)
+	return fmt.Sprintf("%d", n)
 }

@@ -35,6 +35,14 @@ go build ./...
 echo "==> tipsylint ./..."
 go run ./cmd/tipsylint ./...
 
+echo "==> tipsylint -suppressions ./... (budget: zero)"
+sup=$(go run ./cmd/tipsylint -suppressions ./...)
+if [[ -n "$sup" ]]; then
+    echo "suppression directives found (the budget is zero):" >&2
+    echo "$sup" >&2
+    exit 1
+fi
+
 # Total statement coverage must not sink below this floor (the suite
 # sits around 79-80%; the floor leaves headroom for refactors without
 # letting coverage rot).
