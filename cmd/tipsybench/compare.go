@@ -82,6 +82,8 @@ func Compare(prior, cur *Report, timingTol float64) CompareResult {
 			res.mismatch("stage %s items: prior %d, current %d", p.Name, p.Items, c.Items)
 		}
 		warnTiming(&res, "stage "+p.Name, p.WallNs, c.WallNs, timingTol)
+		warnPerRecord(&res, "stage "+p.Name+" allocs_per_record", p.AllocsPerRecord, c.AllocsPerRecord)
+		warnPerRecord(&res, "stage "+p.Name+" bytes_per_record", p.BytesPerRecord, c.BytesPerRecord)
 	}
 	warnTiming(&res, "total", prior.TotalWallNs, cur.TotalWallNs, timingTol)
 	return res
@@ -98,6 +100,25 @@ func warnTiming(res *CompareResult, what string, prior, cur int64, tol float64) 
 	if delta > tol || delta < -tol {
 		res.warn("%s wall time %+.1f%% (%.2fms -> %.2fms, tolerance ±%.0f%%)",
 			what, 100*delta, float64(prior)/1e6, float64(cur)/1e6, 100*tol)
+	}
+}
+
+// perRecordTol is the relative per-record allocation growth tolerated
+// before a warning: allocation counts are near-deterministic (unlike
+// wall time), so the band is tight, but GC-internal variation and old
+// reports predating the fields (value 0, skipped via the prior<=0
+// guard) keep this warn-only. Improvements are silent — the ratchet
+// in tipsylint's budget file is where wins get locked in.
+const perRecordTol = 0.10
+
+func warnPerRecord(res *CompareResult, what string, prior, cur float64) {
+	if prior <= 0 {
+		return
+	}
+	delta := (cur - prior) / prior
+	if delta > perRecordTol {
+		res.warn("%s %+.1f%% (%.2f -> %.2f, tolerance +%.0f%%)",
+			what, 100*delta, prior, cur, 100*perRecordTol)
 	}
 }
 

@@ -108,6 +108,42 @@ func TestCompareTimingWarnings(t *testing.T) {
 	}
 }
 
+func TestComparePerRecordAllocWarnings(t *testing.T) {
+	base := sampleReport()
+	base.Stages[1].AllocsPerRecord = 10
+	base.Stages[1].BytesPerRecord = 4000
+
+	// >10% regression on either per-record metric warns but never
+	// fails the run.
+	cur := sampleReport()
+	cur.Stages[1].AllocsPerRecord = 12  // +20%
+	cur.Stages[1].BytesPerRecord = 4200 // +5%: within tolerance
+	res := Compare(base, cur, 0.25)
+	if len(res.Mismatches) != 0 {
+		t.Fatalf("alloc regression must not be a mismatch: %v", res.Mismatches)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "allocs_per_record +20.0%") {
+		t.Fatalf("warnings = %v, want one allocs_per_record warning", res.Warnings)
+	}
+
+	// Improvements are silent — the tipsylint budget ratchet, not the
+	// bench comparison, is where wins are locked in.
+	cur = sampleReport()
+	cur.Stages[1].AllocsPerRecord = 5
+	cur.Stages[1].BytesPerRecord = 2000
+	if res := Compare(base, cur, 0.25); len(res.Warnings) != 0 {
+		t.Errorf("improvement warned: %v", res.Warnings)
+	}
+
+	// A prior report predating the fields (zero values) never warns.
+	cur = sampleReport()
+	cur.Stages[1].AllocsPerRecord = 99
+	cur.Stages[1].BytesPerRecord = 99999
+	if res := Compare(sampleReport(), cur, 0.25); len(res.Warnings) != 0 {
+		t.Errorf("zero-valued prior warned: %v", res.Warnings)
+	}
+}
+
 func TestCompareToolchainWarnings(t *testing.T) {
 	cur := sampleReport()
 	cur.GoVersion = "go1.25"

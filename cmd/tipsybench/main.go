@@ -55,6 +55,12 @@ type StageResult struct {
 	AllocBytes  uint64  `json:"alloc_bytes"`
 	Mallocs     uint64  `json:"mallocs"`
 	ItemsPerSec float64 `json:"items_per_sec"`
+	// Per-record allocation cost — the hot-path ratchet's dynamic
+	// counterpart. Timing-class: runtime internals (GC timing, map
+	// growth points) make them slightly run-dependent, so they are
+	// stripped by StripTiming and only warned about by -compare.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
 }
 
 // EnvSummary captures the deterministic shape of the simulated
@@ -98,6 +104,8 @@ func (r *Report) StripTiming() {
 		r.Stages[i].AllocBytes = 0
 		r.Stages[i].Mallocs = 0
 		r.Stages[i].ItemsPerSec = 0
+		r.Stages[i].AllocsPerRecord = 0
+		r.Stages[i].BytesPerRecord = 0
 	}
 }
 
@@ -120,6 +128,10 @@ func (r *Report) stage(name string, fn func() int64) {
 	}
 	if wall > 0 {
 		res.ItemsPerSec = float64(items) / wall.Seconds()
+	}
+	if items > 0 {
+		res.AllocsPerRecord = float64(res.Mallocs) / float64(items)
+		res.BytesPerRecord = float64(res.AllocBytes) / float64(items)
 	}
 	r.Stages = append(r.Stages, res)
 	r.TotalWallNs += res.WallNs
@@ -258,8 +270,8 @@ func main() {
 		os.Exit(1)
 	}
 	for _, s := range rep.Stages {
-		fmt.Fprintf(os.Stdout, "%-9s %10d items  %12.2fms  %10.0f items/s  %8.1f MB alloc\n",
-			s.Name, s.Items, float64(s.WallNs)/1e6, s.ItemsPerSec, float64(s.AllocBytes)/1e6)
+		fmt.Fprintf(os.Stdout, "%-9s %10d items  %12.2fms  %10.0f items/s  %8.1f MB alloc  %8.2f allocs/rec\n",
+			s.Name, s.Items, float64(s.WallNs)/1e6, s.ItemsPerSec, float64(s.AllocBytes)/1e6, s.AllocsPerRecord)
 	}
 	fmt.Fprintf(os.Stdout, "total     %39.2fms  -> %s\n", float64(rep.TotalWallNs)/1e6, path)
 

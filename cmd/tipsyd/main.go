@@ -723,6 +723,10 @@ type predictResponse struct {
 	Shifted map[wan.LinkID]float64 `json:"shifted"`
 }
 
+// handlePredict serves the per-request prediction path — the
+// latency-sensitive endpoint, so its closure is allocation-budgeted.
+//
+//tipsy:hotpath
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -1,21 +1,31 @@
 // Command tipsylint is the repository's static-analysis gate. It
 // walks the given packages and enforces the project conventions that
 // go vet cannot: seeded-simulation determinism, mutex hygiene,
-// wire-encoder error handling, goroutine lifecycle discipline, and
-// registry-backed metrics hygiene.
+// wire-encoder error handling, goroutine lifecycle discipline,
+// registry-backed metrics hygiene, and the hot-path allocation
+// budget.
 //
 // Usage:
 //
 //	tipsylint [-json|-sarif] [-suppressions] [-rules determinism,locks,...] ./...
+//	tipsylint -update-budget [-budget file] ./...
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
-// on usage or load errors. Individual findings are silenced in the
-// source with a justified directive on or above the offending line:
+// on usage, load, or typecheck errors. Individual findings are
+// silenced in the source with a justified directive on or above the
+// offending line:
 //
 //	//lint:ignore <rule> <reason>
 //
 // -suppressions inventories those directives instead of linting and
 // exits non-zero if any directive lacks a reason.
+//
+// -update-budget regenerates the hot-path allocation ratchet
+// (.tipsy-allocbudget.json at the module root, or -budget's path)
+// from the tree as analyzed, printing each entry that changed. The
+// hotpath rule fails when a count grows beyond the committed file;
+// shrinking a count requires committing the regenerated file, which
+// is how allocation wins are locked in.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"tipsy/internal/lint"
@@ -40,8 +51,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suppressions := fs.Bool("suppressions", false,
 		"list //lint:ignore directives instead of linting; exit 1 on any reasonless directive")
 	ruleList := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	budgetPath := fs.String("budget", "",
+		"hot-path allocation budget file (default: <module root>/"+lint.BudgetFilename+")")
+	updateBudget := fs.Bool("update-budget", false,
+		"rewrite the allocation budget file to match the tree instead of linting")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tipsylint [-json|-sarif] [-suppressions] [-rules list] packages...")
+		fmt.Fprintln(stderr, "usage: tipsylint [-json|-sarif] [-suppressions] [-rules list] [-update-budget] packages...")
 		fs.PrintDefaults()
 		fmt.Fprintln(stderr, "\nrules:")
 		for _, r := range lint.Rules() {
@@ -57,23 +72,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rules := lint.Rules()
-	if *ruleList != "" {
-		byName := map[string]lint.Rule{}
-		for _, r := range rules {
-			byName[r.Name] = r
-		}
-		rules = rules[:0]
-		for _, name := range strings.Split(*ruleList, ",") {
-			r, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(stderr, "tipsylint: unknown rule %q\n", name)
-				return 2
-			}
-			rules = append(rules, r)
-		}
-	}
-
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(stderr, "tipsylint:", err)
@@ -84,6 +82,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tipsylint:", err)
 		return 2
 	}
+	if *budgetPath == "" {
+		*budgetPath = filepath.Join(loader.ModuleRoot, lint.BudgetFilename)
+	}
+
+	rules := lint.RulesWithBudget(*budgetPath)
+	hotpathSelected := true
+	if *ruleList != "" {
+		byName := map[string]lint.Rule{}
+		for _, r := range rules {
+			byName[r.Name] = r
+		}
+		rules = rules[:0]
+		hotpathSelected = false
+		for _, name := range strings.Split(*ruleList, ",") {
+			r, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tipsylint: unknown rule %q\n", name)
+				return 2
+			}
+			if r.Name == "hotpath" {
+				hotpathSelected = true
+			}
+			rules = append(rules, r)
+		}
+	}
+
 	dirs, err := lint.ExpandPatterns(loader.ModuleRoot, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "tipsylint:", err)
@@ -94,9 +118,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tipsylint:", err)
 		return 2
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "tipsylint: no packages matched")
+		return 2
+	}
+	// Typecheck failures are load errors, not findings: the analyzers
+	// run on what did check, but the exit status must say the tree
+	// could not be fully analyzed.
+	badLoad := false
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrs {
 			fmt.Fprintf(stderr, "tipsylint: typecheck: %v\n", terr)
+			badLoad = true
 		}
 	}
 
@@ -104,10 +137,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if bad := lint.WriteSuppressions(stdout, lint.CollectSuppressions(pkgs)); bad {
 			return 1
 		}
+		if badLoad {
+			return 2
+		}
+		return 0
+	}
+
+	if *updateBudget {
+		rep := lint.AnalyzeHotpaths(lint.NewProgram(pkgs))
+		if old, err := lint.LoadBudget(*budgetPath); err == nil {
+			for _, d := range lint.DiffBudget(old, rep, nil) {
+				fmt.Fprintf(stdout, "budget %s: %s %s %d -> %d\n",
+					d.Kind, d.ID, d.Category, d.Budgeted, d.Observed)
+			}
+		}
+		nb := lint.BudgetFromReport(rep)
+		if err := os.WriteFile(*budgetPath, nb.Marshal(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "tipsylint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d budgeted function(s))\n", *budgetPath, len(nb.Budgets))
+		if badLoad {
+			return 2
+		}
 		return 0
 	}
 
 	diags := lint.Run(pkgs, rules)
+	if hotpathSelected {
+		// Budget drift with no source anchor (stale or shrunk entries)
+		// is reported against the budget file itself.
+		budgetDiags, err := lint.BudgetDiagnostics(pkgs, *budgetPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tipsylint:", err)
+			return 2
+		}
+		diags = append(diags, budgetDiags...)
+		lint.SortDiagnostics(diags)
+	}
 	switch {
 	case *jsonOut:
 		if err := lint.WriteJSON(stdout, diags); err != nil {
@@ -121,6 +188,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	default:
 		lint.WriteText(stdout, diags)
+	}
+	if badLoad {
+		return 2
 	}
 	if len(diags) > 0 {
 		return 1

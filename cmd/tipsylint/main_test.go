@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +43,93 @@ func TestJSONOutputIsEmptyArrayWhenClean(t *testing.T) {
 	}
 	if strings.TrimSpace(out.String()) != "[]" {
 		t.Errorf("want empty JSON array, got:\n%s", out.String())
+	}
+}
+
+// TestFindingsExitOne pins the findings path: a fixture full of
+// violations must report them and exit 1 — not 0 (missed) and not 2
+// (which is reserved for infrastructure failures).
+func TestFindingsExitOne(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-rules", "locks", "internal/lint/testdata/locks/bad"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[locks]") {
+		t.Errorf("findings missing from stdout:\n%s", out.String())
+	}
+}
+
+// TestLoadErrorsExitTwo pins the load-failure paths at exit 2: a
+// package that cannot be parsed and one that cannot be type-checked
+// are infrastructure failures, distinct from findings (exit 1).
+func TestLoadErrorsExitTwo(t *testing.T) {
+	writePkg := func(t *testing.T, src string) string {
+		dir := filepath.Join(t.TempDir(), "brokenpkg")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("parse error", func(t *testing.T) {
+		dir := writePkg(t, "package broken\nfunc f( {}\n")
+		var out, errOut strings.Builder
+		if code := run([]string{dir}, &out, &errOut); code != 2 {
+			t.Errorf("exit %d, want 2\n%s", code, errOut.String())
+		}
+	})
+	t.Run("type error", func(t *testing.T) {
+		dir := writePkg(t, "package broken\nfunc f() int { return \"nope\" }\n")
+		var out, errOut strings.Builder
+		if code := run([]string{dir}, &out, &errOut); code != 2 {
+			t.Errorf("exit %d, want 2\n%s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "typecheck") {
+			t.Errorf("stderr does not mention the typecheck failure: %s", errOut.String())
+		}
+	})
+	t.Run("no packages", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run([]string{filepath.Join(t.TempDir(), "absent")}, &out, &errOut); code != 2 {
+			t.Errorf("exit %d, want 2\n%s", code, errOut.String())
+		}
+	})
+}
+
+// TestHotpathBudgetMatchesTree is the ratchet's anchor: regenerating
+// the budget from the tree must reproduce the committed
+// .tipsy-allocbudget.json byte for byte (so `-update-budget` produces
+// no diff), and a second regeneration must be idempotent.
+func TestHotpathBudgetMatchesTree(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", ".tipsy-allocbudget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "budget.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules", "hotpath", "-budget", tmp, "-update-budget", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("-update-budget exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	first, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, committed) {
+		t.Errorf("committed budget is out of date with the tree; run `go run ./cmd/tipsylint -rules hotpath -update-budget ./...` and commit the result\n%s", out.String())
+	}
+	if code := run([]string{"-rules", "hotpath", "-budget", tmp, "-update-budget", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("second -update-budget exited %d:\n%s", code, errOut.String())
+	}
+	second, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("-update-budget is not idempotent: second run changed the file")
 	}
 }
 

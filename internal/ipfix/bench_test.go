@@ -1,0 +1,45 @@
+package ipfix
+
+import "testing"
+
+// BenchmarkIPFIXDecode measures the steady-state per-message decode
+// cost on a 64-record data set with the template already learned —
+// the shape HandleMessage sees once a stream is warmed up. It is the
+// dynamic counterpart of the tipsylint hotpath tier's static budget
+// for Decode: the static tier counts sites, this pins what they cost.
+//
+// Baseline (2026-08-08, linux/amd64, go1.22 toolchain era):
+//
+//	BenchmarkIPFIXDecode   ~1930 ns/op   4728 B/op   14 allocs/op
+//
+// i.e. ~74 B and ~0.22 allocs per flow record. The planned zero-alloc
+// refactor should drive allocs/op toward the slice headers alone;
+// regressions show up here and in the budget ratchet.
+func BenchmarkIPFIXDecode(b *testing.B) {
+	tmpl := FlowTemplate()
+	recs := make([][]byte, 64)
+	for i := range recs {
+		rec := FlowRecord{
+			SrcAddr: 0x0b000000 | uint32(i),
+			DstAddr: 40 << 24,
+			Octets:  uint64(1000 + i),
+			SrcAS:   64496,
+		}
+		recs[i] = rec.Marshal()
+	}
+	msg := marshalMessage(100, 0, 7, [][]byte{
+		marshalTemplateSet([]Template{tmpl}),
+		marshalDataSet(tmpl.ID, recs),
+	})
+	templates := map[uint16]Template{}
+	if _, err := Decode(msg, templates); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(msg, templates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

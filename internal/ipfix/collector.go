@@ -137,6 +137,8 @@ func (c *Collector) domain(id uint32) *domainState {
 // flow record in it. A malformed message is quarantined: the error is
 // returned for observability, but the collector remains consistent
 // and the next message is processed normally.
+//
+//tipsy:hotpath
 func (c *Collector) HandleMessage(buf []byte, fn func(domain uint32, rec FlowRecord)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -167,6 +167,8 @@ func marshalDataSet(templateID uint16, records [][]byte) []byte {
 // Decode parses one IPFIX message. templates resolves previously seen
 // template IDs for this observation domain and is updated with any
 // templates carried in the message (RFC 7011 §8 template management).
+//
+//tipsy:hotpath
 func Decode(buf []byte, templates map[uint16]Template) (*Message, error) {
 	if templates == nil {
 		// A caller with no template state (one-shot decode) still

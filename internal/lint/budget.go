@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the hot-path allocation ratchet. The committed
+// file .tipsy-allocbudget.json at the module root records, per hot
+// function and per allocation category, how many sites the tree is
+// allowed to contain. The hotpath rule fails when a count grows; the
+// file is regenerated with `tipsylint -update-budget`, and because
+// check.sh diffs the regenerated file against the committed one, a
+// count can only ever move by committing the new file — shrinking is
+// a reviewed win, growing is a build break.
+
+// BudgetFilename is the ratchet file's name at the module root.
+const BudgetFilename = ".tipsy-allocbudget.json"
+
+const budgetComment = "hot-path allocation ratchet: per-function allocation-site counts may shrink, never grow; regenerate with `go run ./cmd/tipsylint -rules hotpath -update-budget ./...`"
+
+// Budget is the parsed ratchet file. Budgets maps function identity
+// (see FuncID) to category (see the Cat* constants) to the allowed
+// site count.
+type Budget struct {
+	Version int                       `json:"version"`
+	Comment string                    `json:"comment"`
+	Budgets map[string]map[string]int `json:"budgets"`
+}
+
+// NewBudget returns an empty budget: every count ratchets from zero.
+func NewBudget() *Budget {
+	return &Budget{Version: 1, Comment: budgetComment, Budgets: map[string]map[string]int{}}
+}
+
+// Get returns the allowed count for (function, category); absent
+// entries are zero.
+func (b *Budget) Get(id, category string) int { return b.Budgets[id][category] }
+
+// LoadBudget reads the ratchet file. A missing file is an empty
+// budget, not an error — a fresh tree ratchets from zero.
+func LoadBudget(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return NewBudget(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := NewBudget()
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Budgets == nil {
+		b.Budgets = map[string]map[string]int{}
+	}
+	return b, nil
+}
+
+// BudgetFromReport folds a hot-path analysis into the budget that
+// exactly matches the tree.
+func BudgetFromReport(rep *HotReport) *Budget {
+	b := NewBudget()
+	for id, counts := range rep.Counts() {
+		b.Budgets[id] = counts
+	}
+	return b
+}
+
+// Marshal renders the budget deterministically — encoding/json sorts
+// map keys, and the trailing newline makes -update-budget idempotent
+// byte for byte.
+func (b *Budget) Marshal() []byte {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		panic(err) // a map[string]map[string]int cannot fail to encode
+	}
+	return append(out, '\n')
+}
+
+// BudgetDelta is one divergence between the committed budget and the
+// tree as analyzed.
+type BudgetDelta struct {
+	ID       string
+	Category string
+	Budgeted int
+	Observed int
+	// Kind: "grown" (observed exceeds budget — the ratchet violation),
+	// "shrunk" (the tree improved; lock it in), "new" (a hot
+	// function/category with no entry), "stale" (an entry whose
+	// function is gone or no longer hot). All four fail the gate: the
+	// committed file must match the tree exactly.
+	Kind string
+}
+
+// DiffBudget compares the committed budget against an analysis of the
+// tree. pkgLoaded filters the stale check to functions whose package
+// was actually analyzed — linting a package subset must not condemn
+// entries for packages outside the run; nil means everything was.
+func DiffBudget(b *Budget, rep *HotReport, pkgLoaded func(pkgPath string) bool) []BudgetDelta {
+	counts := rep.Counts()
+	var out []BudgetDelta
+	for _, id := range sortedKeySet(b.Budgets) {
+		if _, hot := rep.Funcs[id]; !hot {
+			if pkgLoaded != nil && !pkgLoaded(funcPkgPath(id)) {
+				continue
+			}
+			for _, cat := range sortedKeySet(b.Budgets[id]) {
+				out = append(out, BudgetDelta{ID: id, Category: cat, Budgeted: b.Budgets[id][cat], Kind: "stale"})
+			}
+			continue
+		}
+		for _, cat := range sortedKeySet(b.Budgets[id]) {
+			bud, obs := b.Budgets[id][cat], counts[id][cat]
+			switch {
+			case obs > bud:
+				out = append(out, BudgetDelta{ID: id, Category: cat, Budgeted: bud, Observed: obs, Kind: "grown"})
+			case obs < bud:
+				out = append(out, BudgetDelta{ID: id, Category: cat, Budgeted: bud, Observed: obs, Kind: "shrunk"})
+			}
+		}
+	}
+	for _, id := range sortedKeySet(counts) {
+		for _, cat := range sortedKeySet(counts[id]) {
+			if _, ok := b.Budgets[id][cat]; !ok {
+				out = append(out, BudgetDelta{ID: id, Category: cat, Observed: counts[id][cat], Kind: "new"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, c := out[i], out[j]
+		if a.ID != c.ID {
+			return a.ID < c.ID
+		}
+		if a.Category != c.Category {
+			return a.Category < c.Category
+		}
+		return a.Kind < c.Kind
+	})
+	return out
+}
+
+// BudgetDiagnostics runs the hot-path analysis over pkgs and renders
+// every budget divergence as a diagnostic anchored at the budget file
+// itself, so drift that has no source position (stale or shrunk
+// entries) still reaches text, JSON, and SARIF output. The deep-rule
+// driver cannot carry these — it drops positions outside the loaded
+// packages — so the CLI appends them after Run.
+func BudgetDiagnostics(pkgs []*Package, path string) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	budget, err := LoadBudget(path)
+	if err != nil {
+		return nil, err
+	}
+	loaded := map[string]bool{}
+	for _, p := range pkgs {
+		if p.Types != nil {
+			loaded[p.Types.Path()] = true
+		}
+	}
+	rep := AnalyzeHotpaths(NewProgram(pkgs))
+	if len(rep.Roots) == 0 {
+		// No annotated root is in the loaded set, so the hot closure is
+		// unknowable here: a subset run (say, one package) must not
+		// condemn entries as stale just because the roots that make
+		// them hot were not loaded. The full-module run in check.sh
+		// still diffs everything.
+		return nil, nil
+	}
+	var diags []Diagnostic
+	for _, d := range DiffBudget(budget, rep, func(pp string) bool { return loaded[pp] }) {
+		var msg string
+		switch d.Kind {
+		case "grown":
+			msg = fmt.Sprintf("allocation budget exceeded: %s %s %d -> %d; the ratchet only shrinks — eliminate the new allocation", d.ID, d.Category, d.Budgeted, d.Observed)
+		case "shrunk":
+			msg = fmt.Sprintf("allocation budget for %s %s shrank %d -> %d; lock in the win with -update-budget", d.ID, d.Category, d.Budgeted, d.Observed)
+		case "new":
+			msg = fmt.Sprintf("hot function %s has %d %s site(s) but no budget entry; record it with -update-budget", d.ID, d.Observed, d.Category)
+		case "stale":
+			msg = fmt.Sprintf("budget entry %s (%s) is stale: the function is gone or no longer hot; drop it with -update-budget", d.ID, d.Category)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     token.Position{Filename: path, Line: 1, Column: 1},
+			Rule:    "hotpath",
+			Message: msg,
+		})
+	}
+	return diags, nil
+}
+
+// funcPkgPath extracts the import path from a function identity:
+// "tipsy/internal/wan.Table.Lookup" -> "tipsy/internal/wan".
+func funcPkgPath(id string) string {
+	slash := strings.LastIndex(id, "/")
+	if dot := strings.Index(id[slash+1:], "."); dot >= 0 {
+		return id[:slash+1+dot]
+	}
+	return id
+}
+
+// defaultBudgetPath derives the module root's ratchet file from any
+// loaded package: Dir minus the module-relative suffix. In-memory
+// fixture packages (Dir ".") resolve to a path that does not exist,
+// which LoadBudget treats as the empty budget.
+func defaultBudgetPath(prog *Program) string {
+	p := prog.Pkgs[0]
+	root := p.Dir
+	if p.Rel != "." && p.Rel != "" {
+		suffix := string(filepath.Separator) + filepath.FromSlash(p.Rel)
+		root = strings.TrimSuffix(p.Dir, suffix)
+	}
+	return filepath.Join(root, BudgetFilename)
+}
+
+// sortedKeySet returns m's keys sorted.
+func sortedKeySet[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

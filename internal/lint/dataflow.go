@@ -34,6 +34,11 @@ const (
 	// TagMapOrdered: an aggregate (slice, string) whose element order
 	// is the iteration order of the map range at Site.
 	TagMapOrdered
+	// TagAlloc: value is (or carries) the function literal created at
+	// Site. The hotpath tier's escape pass follows these tags to the
+	// points where a closure leaves its creating function and must be
+	// heap-allocated.
+	TagAlloc
 )
 
 // Tag is one provenance fact. Tags are comparable and used as set
@@ -149,6 +154,14 @@ type provHooks interface {
 	// the call removes — sort.Slice(keys, ...) makes keys
 	// deterministic again. Nil when the call cleanses nothing.
 	CleanseArgs(call *ast.CallExpr) []ast.Expr
+}
+
+// funcLitTagger is an optional provHooks extension: hooks implementing
+// it assign provenance to function-literal values themselves (not just
+// to calls), so a closure stored in a local keeps an identity tag the
+// engine can follow to wherever the value flows.
+type funcLitTagger interface {
+	FuncLitTags(lit *ast.FuncLit) tagSet
 }
 
 // provenance runs the engine over one declared function and then
@@ -476,7 +489,12 @@ func (pv *provenance) eval(expr ast.Expr, e env) tagSet {
 			return nil
 		}
 		return e[obj]
-	case *ast.BasicLit, *ast.FuncLit:
+	case *ast.BasicLit:
+		return nil
+	case *ast.FuncLit:
+		if lt, ok := pv.hooks.(funcLitTagger); ok {
+			return lt.FuncLitTags(x)
+		}
 		return nil
 	case *ast.BinaryExpr:
 		return union(pv.eval(x.X, e), pv.eval(x.Y, e))

@@ -95,10 +95,16 @@ func (prog *Program) pkgOf(pos token.Position) *Package {
 type ReportFunc func(pos token.Pos, format string, args ...any)
 
 // Rules returns the full analyzer set with the repository's package
-// scoping. simDirs are the seeded-simulation packages where
-// wall-clock and ambient randomness are banned; wireDirs are the
-// protocol encoder packages where dropped write errors are banned.
-func Rules() []Rule {
+// scoping and the default budget file (the module root's
+// .tipsy-allocbudget.json).
+func Rules() []Rule { return RulesWithBudget("") }
+
+// RulesWithBudget is Rules with the hotpath tier's allocation-budget
+// file overridden; "" means the default. simDirs are the
+// seeded-simulation packages where wall-clock and ambient randomness
+// are banned; wireDirs are the protocol encoder packages where
+// dropped write errors are banned.
+func RulesWithBudget(budgetPath string) []Rule {
 	simDirs := []string{
 		"internal/netsim", "internal/topology", "internal/traffic",
 		"internal/core", "internal/wan",
@@ -167,6 +173,14 @@ func Rules() []Rule {
 			TestsEverywhere: true,
 			DeepCheck:       checkSeedFlow,
 		},
+		{
+			Name:      "hotpath",
+			Doc:       "budget allocation sites in the //tipsy:hotpath call-graph closure; counts ratchet down via .tipsy-allocbudget.json",
+			SkipTests: true,
+			DeepCheck: func(prog *Program, scope []*Package, report ReportFunc) {
+				checkHotpath(prog, report, budgetPath)
+			},
+		},
 	}
 }
 
@@ -219,6 +233,14 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 	}
 	diags = append(diags, runDeep(pkgs, rules)...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by position then rule — the order
+// Run returns and the CLI prints. Exported so callers appending
+// synthetic diagnostics (the budget drift report) can restore it.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -232,7 +254,6 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // runDeep builds the Program (once) and runs every deep rule over

@@ -192,6 +192,28 @@ func f() *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 `, "seeded from time.Now"},
+		{"hotpath", `package p
+//tipsy:hotpath
+func f(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`, "append inside a loop"},
+		{"hotpath", `package p
+import "fmt"
+//tipsy:hotpath
+func f(n int) string { return fmt.Sprintf("%d", n) }
+`, "boxes into an interface parameter"},
+		{"hotpath", `package p
+//tipsy:hotpath
+func f(sink chan func()) {
+	n := 0
+	sink <- func() { n++ }
+}
+`, "closure escapes"},
 	}
 	for i, tc := range cases {
 		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)

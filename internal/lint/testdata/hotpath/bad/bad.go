@@ -1,0 +1,65 @@
+// Package bad plants at least one violation per hotpath allocation
+// category; the golden test pins every diagnostic the tier must
+// produce. No budget file covers these identities, so every site is
+// over the (zero) budget.
+package bad
+
+import (
+	"fmt"
+	"time"
+)
+
+type entry struct {
+	key  string
+	hits int
+}
+
+//tipsy:hotpath
+func ingest(frames [][]byte) []string {
+	var out []string
+	for _, f := range frames {
+		out = append(out, decode(f)) // append-loop
+	}
+	return out
+}
+
+// decode is hot via ingest without its own annotation.
+func decode(frame []byte) string {
+	return string(frame) // string-conv
+}
+
+//tipsy:hotpath
+func account(counts map[string]int, keys []string) []entry {
+	var out []entry
+	for _, k := range keys {
+		counts[k]++                 // map-insert-loop
+		scratch := make([]byte, 16) // alloc-loop (make)
+		_ = scratch
+		out = append(out, entry{key: k}) // append-loop + alloc-loop (composite)
+		started := time.Now()            // time-loop
+		defer trace(k, started)          // defer-loop
+	}
+	return out
+}
+
+// trace is hot via account; both Sprintf arguments box.
+func trace(k string, t time.Time) {
+	_ = fmt.Sprintf("%s@%d", k, t.Unix()) // boxing x2
+}
+
+//tipsy:hotpath
+func subscribe(reg func(func() int)) {
+	n := 0
+	tick := func() int { n++; return n } // closure-escape
+	reg(tick)
+}
+
+// cold carries the same shapes as ingest but no annotation and no hot
+// caller: the tier must stay silent on it.
+func cold(keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package clean holds hot functions written to the zero-allocation
+// discipline the tier enforces: caller-provided buffers, no per-item
+// conversions, closures that never leave their frame.
+package clean
+
+import "encoding/binary"
+
+//tipsy:hotpath
+func sum(xs []uint64) uint64 {
+	var total uint64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//tipsy:hotpath
+func decodeInto(dst []uint64, wire []byte) int {
+	n := 0
+	for len(wire) >= 8 && n < len(dst) {
+		dst[n] = binary.BigEndian.Uint64(wire) // store into a caller buffer: no allocation
+		wire = wire[8:]
+		n++
+	}
+	return n
+}
+
+//tipsy:hotpath
+func fold(xs []int) int {
+	// A closure that is only called locally stays on the stack.
+	step := func(acc, x int) int { return acc + x }
+	acc := 0
+	for _, x := range xs {
+		acc = step(acc, x)
+	}
+	return acc
+}
+
+// grow allocates freely but is cold — outside every root's closure —
+// so the tier must not flag it.
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

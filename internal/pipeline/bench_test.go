@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tipsy/internal/geo"
+	"tipsy/internal/ipfix"
+	"tipsy/internal/wan"
+)
+
+// BenchmarkAggregatorRecord measures the per-flow-record ingest cost
+// through the aggregation join — metadata lookup, Geo-IP, key build,
+// map accumulate — with a steady-state accumulator (24 hot keys, no
+// drain). The tipsylint hotpath tier budgets Record's allocation
+// sites statically; this pins the dynamic cost per record.
+//
+// Baseline (2026-08-08, linux/amd64, go1.22 toolchain era):
+//
+//	BenchmarkAggregatorRecord   ~100 ns/op   0 B/op   0 allocs/op
+//
+// Record is already allocation-free in steady state (the aggKey is a
+// value type and the accumulator map only grows on new keys); keep it
+// that way — any alloc showing up here is a regression.
+func BenchmarkAggregatorRecord(b *testing.B) {
+	g := geo.NewGeoIP(geo.World(), 0, 1)
+	g.Register(0x0b000100, 7)
+	a := NewAggregator(g, staticMeta(3, 2))
+	rec := ipfix.FlowRecord{SrcAddr: 0x0b000105, DstAddr: 40 << 24, Octets: 1000, SrcAS: 64496}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Record(wan.Hour(i%24), 9, &rec)
+	}
+}

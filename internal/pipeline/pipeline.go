@@ -91,6 +91,8 @@ func NewAggregatorOn(reg *obsv.Registry, geoip *geo.GeoIP, meta Metadata) *Aggre
 // Records whose destination has no metadata are dropped and counted —
 // the paper's pipeline likewise only processes flows destined to
 // known cloud services.
+//
+//tipsy:hotpath
 func (a *Aggregator) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
 	region, svc, ok := a.meta(rec.DstAddr)
 	a.mu.Lock()

@@ -3,10 +3,13 @@
 #
 # Runs, in order: formatting, go vet, build, tipsylint (the project's
 # own static-analysis suite: determinism, lock hygiene, wire-encoder
-# safety, goroutine hygiene, metrics), the test suite under the race
-# detector with a total-coverage floor, a 15s fuzz pass per protocol
-# decoder, the tipsybench quick cycle, and the chaos soak. Everything
-# is stdlib Go; no network access is needed.
+# safety, goroutine hygiene, metrics, hot-path allocation budget),
+# the allocation-budget ratchet gate (regenerating the budget must
+# reproduce the committed .tipsy-allocbudget.json byte for byte), the
+# test suite under the race detector with a total-coverage floor, a
+# 15s fuzz pass per protocol decoder, the tipsybench quick cycle, and
+# the chaos soak. Everything is stdlib Go; no network access is
+# needed.
 #
 # Usage: scripts/check.sh [-short]
 #   -short  skip the race detector (plain `go test`), for quick loops
@@ -34,6 +37,22 @@ go build ./...
 
 echo "==> tipsylint ./..."
 go run ./cmd/tipsylint ./...
+
+echo "==> tipsylint -rules hotpath ./... (allocation budget)"
+go run ./cmd/tipsylint -rules hotpath ./...
+
+echo "==> allocation-budget ratchet (regenerated file must match committed)"
+budgettmp=$(mktemp)
+go run ./cmd/tipsylint -rules hotpath -update-budget -budget "$budgettmp" ./... >/dev/null
+if ! diff -u .tipsy-allocbudget.json "$budgettmp"; then
+    rm -f "$budgettmp"
+    echo "allocation budget out of date: counts may only change by committing" >&2
+    echo "the file regenerated with:" >&2
+    echo "    go run ./cmd/tipsylint -rules hotpath -update-budget ./..." >&2
+    echo "growing a count means a new allocation landed on a hot path — fix it instead" >&2
+    exit 1
+fi
+rm -f "$budgettmp"
 
 echo "==> tipsylint -suppressions ./... (budget: zero)"
 sup=$(go run ./cmd/tipsylint -suppressions ./...)
