@@ -48,9 +48,11 @@ func main() {
 			log.Fatal(err)
 		}
 		defer conn.Close()
-		err = collector.ReadStream(conn, func(domain uint32, rec ipfix.FlowRecord) {
-			// The export timestamp carries the simulated hour.
-			agg.Record(wan.Hour(rec.StartSecs/3600), wan.LinkID(rec.Ingress), &rec)
+		// Batch hand-off: each decoded IPFIX message's records reach
+		// the aggregator in one call, so the shard locks are taken per
+		// message instead of per record.
+		err = collector.ReadStreamBatch(conn, func(domain uint32, recs []ipfix.FlowRecord) {
+			agg.RecordBatch(recs)
 		})
 		if err != nil {
 			log.Fatalf("collector: %v", err)

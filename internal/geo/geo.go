@@ -55,6 +55,11 @@ func DistanceKm(a, b Coord) float64 {
 // DB is an immutable metro database.
 type DB struct {
 	metros []Metro // index = MetroID-1
+	// dist precomputes all pairwise great-circle distances
+	// (dist[(a-1)*n + b-1]); with 64 metros the table is 32KB and
+	// turns the haversine on the simulator's resolution hot path into
+	// a load. Entries hold exactly what DistanceKm returns.
+	dist []float64
 }
 
 // World returns the built-in database of major world metros where
@@ -64,6 +69,13 @@ func World() *DB {
 	copy(db.metros, worldMetros[:])
 	for i := range db.metros {
 		db.metros[i].ID = MetroID(i + 1)
+	}
+	n := len(db.metros)
+	db.dist = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			db.dist[i*n+j] = DistanceKm(db.metros[i].Coord(), db.metros[j].Coord())
+		}
 	}
 	return db
 }
@@ -95,12 +107,14 @@ func (db *DB) All() []Metro { return db.metros }
 
 // Distance returns the great-circle distance between two metros in km.
 func (db *DB) Distance(a, b MetroID) float64 {
-	ma, oka := db.Metro(a)
-	mb, okb := db.Metro(b)
-	if !oka || !okb {
+	n := len(db.metros)
+	if a == 0 || b == 0 || int(a) > n || int(b) > n {
 		return math.Inf(1)
 	}
-	return DistanceKm(ma.Coord(), mb.Coord())
+	if db.dist != nil {
+		return db.dist[(int(a)-1)*n+int(b)-1]
+	}
+	return DistanceKm(db.metros[a-1].Coord(), db.metros[b-1].Coord())
 }
 
 // Nearest returns, from candidates, the metro closest to origin. With

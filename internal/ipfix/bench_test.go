@@ -16,6 +16,23 @@ import "testing"
 // refactor should drive allocs/op toward the slice headers alone;
 // regressions show up here and in the budget ratchet.
 func BenchmarkIPFIXDecode(b *testing.B) {
+	msg := benchMessage()
+	templates := map[uint16]Template{}
+	if _, err := Decode(msg, templates); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(msg, templates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMessage builds the 64-record warmed-template message both
+// decode benchmarks share.
+func benchMessage() []byte {
 	tmpl := FlowTemplate()
 	recs := make([][]byte, 64)
 	for i := range recs {
@@ -27,19 +44,55 @@ func BenchmarkIPFIXDecode(b *testing.B) {
 		}
 		recs[i] = rec.Marshal()
 	}
-	msg := marshalMessage(100, 0, 7, [][]byte{
+	return marshalMessage(100, 0, 7, [][]byte{
 		marshalTemplateSet([]Template{tmpl}),
 		marshalDataSet(tmpl.ID, recs),
 	})
-	templates := map[uint16]Template{}
-	if _, err := Decode(msg, templates); err != nil {
+}
+
+// BenchmarkDecodeInto measures the compiled decode path over the same
+// 64-record message as BenchmarkIPFIXDecode: template-compiled set
+// walking into a pooled, reused Message. Steady state is allocation-
+// free (TestDecodeIntoSteadyStateZeroAlloc pins exactly that), so
+// ns/op here is pure decode work.
+func BenchmarkDecodeInto(b *testing.B) {
+	buf := benchMessage()
+	tt := NewTemplateTable()
+	msg := GetMessage()
+	defer PutMessage(msg)
+	if err := DecodeInto(msg, buf, tt); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Decode(msg, templates); err != nil {
+		if err := DecodeInto(msg, buf, tt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDecodeIntoSteadyStateZeroAlloc pins the tentpole claim: once the
+// template is compiled and the message's internal slices have grown to
+// the message shape, DecodeInto performs zero heap allocations — not
+// per record, zero for the whole 64-record message.
+func TestDecodeIntoSteadyStateZeroAlloc(t *testing.T) {
+	buf := benchMessage()
+	tt := NewTemplateTable()
+	msg := GetMessage()
+	defer PutMessage(msg)
+	if err := DecodeInto(msg, buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeInto(msg, buf, tt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeInto allocates %.1f times per 64-record message, want 0", allocs)
+	}
+	if len(msg.Records) != 64 {
+		t.Fatalf("decoded %d records, want 64", len(msg.Records))
 	}
 }

@@ -1,6 +1,7 @@
 package ipfix
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -53,12 +54,13 @@ type seqGap struct {
 
 // domainState is the collector's per-observation-domain decode state.
 type domainState struct {
-	templates map[uint16]Template
-	haveSeq   bool
-	nextSeq   uint32   // sequence number expected on the next message
-	gaps      []seqGap // open loss gaps, oldest first
-	pending   []RawSet // data sets awaiting their template
-	sampling  uint32   // announced sampling interval
+	table      *TemplateTable
+	haveSeq    bool
+	nextSeq    uint32   // sequence number expected on the next message
+	gaps       []seqGap // open loss gaps, oldest first
+	gapScratch []seqGap // refillGaps work area, swapped with gaps
+	pending    []RawSet // data sets awaiting their template
+	sampling   uint32   // announced sampling interval
 }
 
 // collectorMetrics are the collector's registry-backed counters. Lost
@@ -104,6 +106,11 @@ type Collector struct {
 	mu      sync.Mutex
 	domains map[uint32]*domainState
 	m       collectorMetrics
+	// batch accumulates the flow records of the message being handled
+	// (direct and replayed), reused across messages under mu. Handing
+	// the whole slice to a batch consumer amortizes downstream lock
+	// traffic over the ~64 records a message carries.
+	batch []FlowRecord
 }
 
 // NewCollector creates an empty collector with a private metrics
@@ -127,7 +134,7 @@ func NewCollectorOn(reg *obsv.Registry) *Collector {
 func (c *Collector) domain(id uint32) *domainState {
 	d := c.domains[id]
 	if d == nil {
-		d = &domainState{templates: make(map[uint16]Template)}
+		d = &domainState{table: NewTemplateTable()}
 		c.domains[id] = d
 	}
 	return d
@@ -142,30 +149,76 @@ func (c *Collector) domain(id uint32) *domainState {
 func (c *Collector) HandleMessage(buf []byte, fn func(domain uint32, rec FlowRecord)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	id, err := c.handleLocked(buf)
+	if err != nil {
+		return err
+	}
+	for i := range c.batch {
+		fn(id, c.batch[i])
+	}
+	return nil
+}
+
+// HandleMessageBatch is HandleMessage with a batched hand-off: fn is
+// invoked at most once, with every flow record the message produced
+// (direct and replayed). The slice is owned by the collector and only
+// valid for the duration of the callback.
+//
+//tipsy:hotpath
+func (c *Collector) HandleMessageBatch(buf []byte, fn func(domain uint32, recs []FlowRecord)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.handleLocked(buf)
+	if err != nil {
+		return err
+	}
+	if len(c.batch) > 0 {
+		fn(id, c.batch)
+	}
+	return nil
+}
+
+// handleLocked decodes one framed message into the pooled Message and
+// collects its flow records into c.batch. Callers hold c.mu and emit
+// c.batch on a nil error.
+func (c *Collector) handleLocked(buf []byte) (uint32, error) {
+	c.batch = c.batch[:0]
 	if len(buf) < msgHeaderLen {
 		c.m.quarantined.Inc()
-		return ErrShortMessage
+		return 0, ErrShortMessage
 	}
 	// Peek the domain to select the template table.
-	id := uint32(buf[12])<<24 | uint32(buf[13])<<16 | uint32(buf[14])<<8 | uint32(buf[15])
+	id := binary.BigEndian.Uint32(buf[12:16])
 	d := c.domain(id)
-	msg, err := Decode(buf, d.templates)
-	if err != nil {
+	msg := GetMessage()
+	if err := DecodeInto(msg, buf, d.table); err != nil {
+		PutMessage(msg)
 		c.m.quarantined.Inc()
-		return err
+		return 0, err
 	}
 	c.accountSequence(d, msg)
 	c.m.messages.Inc()
-	for _, dr := range msg.Records {
-		c.processRecord(d, id, dr, fn)
+	// Data sets arrive as runs of records sharing one template, so
+	// the compiled-template lookup is cached across the run.
+	lastID := uint16(0)
+	var lastCT *CompiledTemplate
+	for i := range msg.Records {
+		dr := &msg.Records[i]
+		if dr.TemplateID != lastID || lastCT == nil {
+			lastID = dr.TemplateID
+			lastCT = d.table.Get(lastID)
+		}
+		c.processOne(d, dr.TemplateID, dr.Data, lastCT)
 	}
-	for _, raw := range msg.Unknown {
-		c.bufferPending(d, raw)
+	for i := range msg.Unknown {
+		c.bufferPending(d, msg.Unknown[i])
 	}
-	if len(msg.Templates) > 0 {
-		c.replayPending(d, id, fn)
+	hadTemplates := len(msg.Templates) > 0
+	PutMessage(msg)
+	if hadTemplates {
+		c.replayPending(d)
 	}
-	return nil
+	return id, nil
 }
 
 // accountSequence updates loss/reorder accounting for one decoded
@@ -189,7 +242,11 @@ func (c *Collector) accountSequence(d *domainState, msg *Message) {
 		c.m.seqLost.Add(uint64(diff))
 		d.gaps = append(d.gaps, seqGap{start: d.nextSeq, count: uint32(diff)})
 		if len(d.gaps) > maxTrackedGaps {
-			d.gaps = d.gaps[len(d.gaps)-maxTrackedGaps:]
+			// Copy down instead of reslicing forward so the backing
+			// array keeps its capacity — the gap list must reach a
+			// steady state with no per-message allocation.
+			kept := copy(d.gaps, d.gaps[len(d.gaps)-maxTrackedGaps:])
+			d.gaps = d.gaps[:kept]
 		}
 		d.nextSeq = seq + n
 	case diff < 0:
@@ -208,11 +265,19 @@ func (c *Collector) accountSequence(d *domainState, msg *Message) {
 
 // refillGaps subtracts the arrived range [seq, seq+n) from the open
 // loss gaps, crediting Lost back for records that were merely late.
+// The surviving gaps are written by index into a scratch slice that
+// is swapped with the live list, so steady-state refills allocate
+// nothing. One arrival interval splits at most one gap into head and
+// tail, so the output never exceeds len(gaps)+1 entries.
 func (c *Collector) refillGaps(d *domainState, seq, n uint32) {
-	if n == 0 {
+	if n == 0 || len(d.gaps) == 0 {
 		return
 	}
-	var kept []seqGap
+	if cap(d.gapScratch) < len(d.gaps)+1 {
+		d.gapScratch = make([]seqGap, maxTrackedGaps+1)
+	}
+	kept := d.gapScratch[:cap(d.gapScratch)]
+	w := 0
 	for _, g := range d.gaps {
 		// Overlap of [seq, seq+n) with [g.start, g.start+g.count),
 		// computed as signed offsets relative to g.start so sequence
@@ -220,7 +285,8 @@ func (c *Collector) refillGaps(d *domainState, seq, n uint32) {
 		lo := int64(int32(seq - g.start))
 		hi := lo + int64(n)
 		if hi <= 0 || lo >= int64(g.count) {
-			kept = append(kept, g) // no overlap
+			kept[w] = g // no overlap
+			w++
 			continue
 		}
 		if lo < 0 {
@@ -233,35 +299,43 @@ func (c *Collector) refillGaps(d *domainState, seq, n uint32) {
 		c.m.seqRefilled.Add(uint64(covered))
 		// The gap may split into a head and a tail remainder.
 		if lo > 0 {
-			kept = append(kept, seqGap{start: g.start, count: uint32(lo)})
+			kept[w].start = g.start
+			kept[w].count = uint32(lo)
+			w++
 		}
 		if uint32(hi) < g.count {
-			kept = append(kept, seqGap{start: g.start + uint32(hi), count: g.count - uint32(hi)})
+			kept[w].start = g.start + uint32(hi)
+			kept[w].count = g.count - uint32(hi)
+			w++
 		}
 	}
-	d.gaps = kept
+	d.gaps, d.gapScratch = kept[:w], d.gaps
 }
 
-// processRecord dispatches one decoded data record: sampling options
-// records update the domain's announced interval, flow records are
-// unmarshalled and handed to the callback, and records that fail to
-// unmarshal are quarantined.
-func (c *Collector) processRecord(d *domainState, id uint32, dr DataRecord, fn func(uint32, FlowRecord)) {
-	if dr.TemplateID == SamplingTemplateID && len(dr.Data) == 4 {
-		d.sampling = uint32(dr.Data[0])<<24 | uint32(dr.Data[1])<<16 |
-			uint32(dr.Data[2])<<8 | uint32(dr.Data[3])
+// processOne dispatches one data record: sampling options records
+// update the domain's announced interval, flow records decode through
+// the compiled template straight into c.batch, and records whose
+// template cannot describe a flow record are quarantined.
+func (c *Collector) processOne(d *domainState, tid uint16, data []byte, ct *CompiledTemplate) {
+	if tid == SamplingTemplateID && len(data) == 4 {
+		d.sampling = binary.BigEndian.Uint32(data[0:4])
 		return
 	}
-	if dr.TemplateID != FlowTemplateID {
+	if tid != FlowTemplateID {
 		return
 	}
-	rec, err := UnmarshalFlowRecord(dr.Data)
-	if err != nil {
+	if ct == nil || ct.recLen != flowRecordLen {
+		c.m.quarantined.Inc()
+		return
+	}
+	n := len(c.batch)
+	c.batch = append(c.batch, FlowRecord{})
+	if !ct.DecodeFlow(data, &c.batch[n]) {
+		c.batch = c.batch[:n]
 		c.m.quarantined.Inc()
 		return
 	}
 	c.m.records.Inc()
-	fn(id, rec)
 }
 
 // bufferPending parks a data set whose template has not arrived,
@@ -271,34 +345,45 @@ func (c *Collector) bufferPending(d *domainState, raw RawSet) {
 	d.pending = append(d.pending, RawSet{SetID: raw.SetID, Body: body})
 	c.m.buffered.Inc()
 	if len(d.pending) > maxPendingSets {
-		d.pending = d.pending[1:]
+		// Copy down (keeping the backing array) rather than reslice
+		// forward, and drop the evicted body reference.
+		kept := copy(d.pending, d.pending[1:])
+		d.pending[kept].SetID = 0
+		d.pending[kept].Body = nil
+		d.pending = d.pending[:kept]
 		c.m.evicted.Inc()
 	}
 }
 
 // replayPending re-decodes buffered data sets after new templates
 // arrived — the resync point for sets that overtook their template.
-func (c *Collector) replayPending(d *domainState, id uint32, fn func(uint32, FlowRecord)) {
-	var still []RawSet
-	for _, raw := range d.pending {
-		t, ok := d.templates[raw.SetID]
-		if !ok {
-			still = append(still, raw)
+// Sets still missing a template are compacted in place (w never
+// passes i, so the two-pointer walk is safe) and the dropped tail is
+// cleared so replayed bodies don't pin their buffers.
+func (c *Collector) replayPending(d *domainState) {
+	w := 0
+	for i := range d.pending {
+		raw := d.pending[i]
+		ct := d.table.Get(raw.SetID)
+		if ct == nil {
+			d.pending[w] = raw
+			w++
 			continue
 		}
 		c.m.replayed.Inc()
-		rl := t.RecordLen()
+		rl := ct.recLen
 		if rl == 0 {
 			c.m.quarantined.Inc()
 			continue
 		}
 		body := raw.Body
 		for len(body) >= rl {
-			c.processRecord(d, id, DataRecord{TemplateID: raw.SetID, Data: body[:rl]}, fn)
+			c.processOne(d, raw.SetID, body[:rl], ct)
 			body = body[rl:]
 		}
 	}
-	d.pending = still
+	clear(d.pending[w:])
+	d.pending = d.pending[:w]
 }
 
 // ReadStream consumes a stream of back-to-back framed messages from r
@@ -307,26 +392,43 @@ func (c *Collector) replayPending(d *domainState, id uint32, fn func(uint32, Flo
 // quarantined and the stream continues — only a framing failure,
 // after which message boundaries are unrecoverable, aborts.
 func (c *Collector) ReadStream(r io.Reader, fn func(domain uint32, rec FlowRecord)) error {
-	hdr := make([]byte, 4)
+	return c.readStream(r, func(buf []byte) { _ = c.HandleMessage(buf, fn) })
+}
+
+// ReadStreamBatch is ReadStream with the batched hand-off: fn is
+// invoked once per message that produced records, with the whole
+// record batch. The slice is only valid during the callback.
+func (c *Collector) ReadStreamBatch(r io.Reader, fn func(domain uint32, recs []FlowRecord)) error {
+	return c.readStream(r, func(buf []byte) { _ = c.HandleMessageBatch(buf, fn) })
+}
+
+// readStream frames messages out of r into a buffer reused across
+// messages (handle must not retain it) and feeds each to handle.
+// Quarantined messages are counted inside HandleMessage; the stream
+// itself is still framed, so reading continues.
+func (c *Collector) readStream(r io.Reader, handle func(buf []byte)) error {
+	var hdr [4]byte
+	var msg []byte
 	for {
-		if _, err := io.ReadFull(r, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
-		total := WireLen(hdr)
+		total := WireLen(hdr[:])
 		if total < msgHeaderLen {
 			return fmt.Errorf("%w: stream framing lost", ErrShortMessage)
 		}
-		msg := make([]byte, total)
-		copy(msg, hdr)
+		if cap(msg) < total {
+			msg = make([]byte, total)
+		}
+		msg = msg[:total]
+		copy(msg, hdr[:])
 		if _, err := io.ReadFull(r, msg[4:]); err != nil {
 			return err
 		}
-		// Quarantined messages are counted inside HandleMessage; the
-		// stream itself is still framed, so keep reading.
-		_ = c.HandleMessage(msg, fn)
+		handle(msg)
 	}
 }
 

@@ -2,7 +2,7 @@ package ipfix
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 )
 
 // FlowTemplateID is the template ID of the TIPSY flow record schema.
@@ -59,11 +59,16 @@ func (r *FlowRecord) Marshal() []byte {
 	return binary.BigEndian.AppendUint32(out, r.EndSecs)
 }
 
+// errBadFlowRecordLen keeps length failures off the allocation path:
+// the collector hits this once per quarantined record, and an
+// fmt.Errorf here would box two ints per call.
+var errBadFlowRecordLen = errors.New("ipfix: flow record has wrong length")
+
 // UnmarshalFlowRecord decodes a data record produced with
 // FlowTemplate.
 func UnmarshalFlowRecord(data []byte) (FlowRecord, error) {
 	if len(data) != flowRecordLen {
-		return FlowRecord{}, fmt.Errorf("ipfix: flow record is %d bytes, want %d", len(data), flowRecordLen)
+		return FlowRecord{}, errBadFlowRecordLen
 	}
 	return FlowRecord{
 		SrcAddr:   binary.BigEndian.Uint32(data[0:4]),

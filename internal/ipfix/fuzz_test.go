@@ -72,9 +72,20 @@ func FuzzIPFIXDecode(f *testing.F) {
 			t.Fatalf("WireLen = %d, want >= 0", n)
 		}
 
-		// Bare decoder, with and without the flow template known.
+		// Bare decoder, with and without the flow template known. Each
+		// state also runs the compiled path through the differential
+		// oracle: reference and compiled decoders must agree on every
+		// input the fuzzer invents.
 		known := map[uint16]Template{FlowTemplateID: FlowTemplate()}
 		for _, tmpl := range []map[uint16]Template{nil, known} {
+			ref := make(map[uint16]Template, len(tmpl))
+			tt := NewTemplateTable()
+			for _, mt := range tmpl {
+				ref[mt.ID] = mt
+				tt.Register(mt)
+			}
+			runDifferential(t, data, ref, tt)
+
 			msg, err := Decode(data, tmpl)
 			if err != nil {
 				continue

@@ -168,7 +168,10 @@ func marshalDataSet(templateID uint16, records [][]byte) []byte {
 // template IDs for this observation domain and is updated with any
 // templates carried in the message (RFC 7011 §8 template management).
 //
-//tipsy:hotpath
+// Decode is the reference slow path: it allocates a fresh Message and
+// re-walks template metadata per set. The collector's hot path uses
+// DecodeInto with a compiled TemplateTable instead; the differential
+// harness in differential_test.go holds the two bit-for-bit equal.
 func Decode(buf []byte, templates map[uint16]Template) (*Message, error) {
 	if templates == nil {
 		// A caller with no template state (one-shot decode) still

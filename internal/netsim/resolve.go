@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"sort"
+	"slices"
 
 	"tipsy/internal/bgp"
 	"tipsy/internal/geo"
@@ -13,11 +13,41 @@ import (
 // the generated topologies are at most ~6 hops.
 const maxWalkDepth = 10
 
+// resolver holds one goroutine's worth of resolution scratch: a
+// per-depth frame of candidate/share buffers plus the walk's visited
+// set as a fixed array. Resolution runs millions of times per
+// simulated run, and with the scratch reused a steady-state resolve
+// performs no heap allocation at all (the only allocation left on the
+// path is the one copy resolveCached makes to persist a cache miss).
+// A resolver is not safe for concurrent use; Run gives each worker
+// its own, and the public ResolveFlow draws one from a pool.
+type resolver struct {
+	s        *Sim
+	frames   [maxWalkDepth + 2]walkFrame
+	visited  [maxWalkDepth + 2]bgp.ASN
+	excluded []wan.LinkID
+	bad      []wan.LinkID
+	conc     []LinkShare
+}
+
+// walkFrame is the scratch of one recursion depth. Buffers at
+// different depths never alias, so a parent's candidate list survives
+// its children's recursion.
+type walkFrame struct {
+	cands    []exitCand // direct peering candidates
+	tcands   []exitCand // transit hand-off candidates
+	inIsland []geo.MetroID
+	pairs    []LinkShare // transit pre-merge (link, weighted frac) pairs
+	out      []LinkShare // transit merged result
+	shares   []LinkShare // ecmp result
+}
+
 // ResolveFlow computes where the flow's bytes ingress the WAN at hour
 // h under the current announcement and outage state, as a set of
 // links with fractional byte shares summing to 1 (or an empty slice
 // if the flow has no route, e.g. every reachable link lost the
-// prefix).
+// prefix). The returned slice is freshly allocated and owned by the
+// caller.
 //
 // Resolution follows the paper's model of reality: each AS along the
 // way makes an independent Gao-Rexford choice — direct peer routes
@@ -25,22 +55,46 @@ const maxWalkDepth = 10
 // policy noise that re-rolls on that AS's drift schedule, with
 // near-tie candidates sharing load (ECMP / flow spraying).
 func (s *Sim) ResolveFlow(f *traffic.FlowSpec, h wan.Hour) []LinkShare {
+	r := s.getResolver()
+	shares := slices.Clone(r.resolveFlow(f, h))
+	s.putResolver(r)
+	return shares
+}
+
+// resolveFlow is ResolveFlow against the resolver's scratch: the
+// returned slice is only valid until the resolver's next call.
+func (r *resolver) resolveFlow(f *traffic.FlowSpec, h wan.Hour) []LinkShare {
+	r.excluded = r.excluded[:0]
+	return r.resolveFlowFrom(f, h, r.resolveCached(f, h, r.excluded))
+}
+
+// steady returns the flow's steady-state (no exclusions) resolution
+// for h's day — the shared read-only cache entry, usable as the
+// starting point of resolveFlowFrom for any hour of the same day.
+func (r *resolver) steady(f *traffic.FlowSpec, h wan.Hour) []LinkShare {
+	return r.resolveCached(f, h, nil)
+}
+
+// resolveFlowFrom runs the availability-exclusion loop starting from
+// an already-resolved steady split for h's day (as returned by
+// steady), concentrating the surviving split.
+func (r *resolver) resolveFlowFrom(f *traffic.FlowSpec, h wan.Hour, shares []LinkShare) []LinkShare {
+	s := r.s
 	prefix := s.dstPrefix[f.ID]
-	var excluded []wan.LinkID
-	shares := s.resolveCached(f, h, excluded)
+	r.excluded = r.excluded[:0]
 	for iter := 0; iter < 16; iter++ {
-		bad := excluded[:0:0]
+		r.bad = r.bad[:0]
 		for _, sh := range shares {
 			if !s.Available(sh.Link, prefix, h) {
-				bad = append(bad, sh.Link)
+				r.bad = append(r.bad, sh.Link)
 			}
 		}
-		if len(bad) == 0 {
-			return s.concentrate(f, h, shares)
+		if len(r.bad) == 0 {
+			return r.concentrate(f, h, shares)
 		}
-		excluded = append(excluded, bad...)
-		sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
-		shares = s.resolveCached(f, h, excluded)
+		r.excluded = append(r.excluded, r.bad...)
+		slices.Sort(r.excluded)
+		shares = r.resolveCached(f, h, r.excluded)
 		if len(shares) == 0 {
 			return nil
 		}
@@ -64,7 +118,7 @@ const concentrationFrac = 0.92
 // links across a week (the overall oracle's top-1 is only ~80%), yet
 // during a short outage window traffic is concentrated (the
 // seen-outage oracle's top-1 is ~95%).
-func (s *Sim) concentrate(f *traffic.FlowSpec, h wan.Hour, steady []LinkShare) []LinkShare {
+func (r *resolver) concentrate(f *traffic.FlowSpec, h wan.Hour, steady []LinkShare) []LinkShare {
 	if len(steady) <= 1 {
 		return steady
 	}
@@ -79,7 +133,7 @@ func (s *Sim) concentrate(f *traffic.FlowSpec, h wan.Hour, steady []LinkShare) [
 			break
 		}
 	}
-	out := make([]LinkShare, len(steady))
+	out := slices.Grow(r.conc[:0], len(steady))[:len(steady)]
 	rest := 1 - steady[winner].Frac
 	for i, sh := range steady {
 		if i == winner {
@@ -92,24 +146,36 @@ func (s *Sim) concentrate(f *traffic.FlowSpec, h wan.Hour, steady []LinkShare) [
 		}
 		out[i] = LinkShare{Link: sh.Link, Frac: frac}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Frac > out[j].Frac })
+	slices.SortFunc(out, func(a, b LinkShare) int {
+		if a.Frac != b.Frac {
+			if a.Frac > b.Frac {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Link) - int(b.Link)
+	})
+	r.conc = out
 	return out
 }
 
 // resolveCached memoizes full resolutions by (flow, day, exclusion
 // set). Entries depend only on those inputs — availability is applied
 // by the caller's exclusion loop — so the cache never needs
-// invalidation when withdrawals change.
-func (s *Sim) resolveCached(f *traffic.FlowSpec, h wan.Hour, excluded []wan.LinkID) []LinkShare {
+// invalidation when withdrawals change. Cached slices are shared and
+// read-only.
+func (r *resolver) resolveCached(f *traffic.FlowSpec, h wan.Hour, excluded []wan.LinkID) []LinkShare {
+	s := r.s
 	key := resKey{flow: int32(f.ID), day: int32(h.Day()), excl: hashLinks(excluded)}
 	s.cacheMu.RLock()
-	if shares, ok := s.cache[key]; ok {
-		s.cacheMu.RUnlock()
+	shares, ok := s.cache[key]
+	s.cacheMu.RUnlock()
+	if ok {
 		return shares
 	}
-	s.cacheMu.RUnlock()
-	shares := s.walk(f.SrcAS, f.SrcMetro, f, int32(h.Day()), excluded, key.excl, nil, 0)
-	normalize(shares)
+	res := r.walk(f.SrcAS, f.SrcMetro, f, int32(h.Day()), excluded, key.excl, 0, 0)
+	normalize(res)
+	shares = slices.Clone(res) // persist off the walk scratch
 	s.cacheMu.Lock()
 	s.cache[key] = shares
 	s.cacheMu.Unlock()
@@ -199,16 +265,18 @@ type exitCand struct {
 
 // walk resolves the ingress links for a flow currently inside AS asn
 // at metro m. excluded links are treated as not carrying the prefix.
-func (s *Sim) walk(asn bgp.ASN, m geo.MetroID, f *traffic.FlowSpec, day int32,
-	excluded []wan.LinkID, exclKey uint64, visited []bgp.ASN, depth int) []LinkShare {
+// The first vlen entries of r.visited are the ASes already on the
+// path. The returned slice lives in this depth's (or a child's)
+// frame: callers must copy or fold it before resolving anything else.
+func (r *resolver) walk(asn bgp.ASN, m geo.MetroID, f *traffic.FlowSpec, day int32,
+	excluded []wan.LinkID, exclKey uint64, vlen, depth int) []LinkShare {
 	if depth > maxWalkDepth {
 		return nil
 	}
-	for _, v := range visited {
-		if v == asn {
-			return nil
-		}
+	if r.visitedHas(vlen, asn) {
+		return nil
 	}
+	s := r.s
 	a, ok := s.g.AS(asn)
 	if !ok {
 		return nil
@@ -224,33 +292,44 @@ func (s *Sim) walk(asn bgp.ASN, m geo.MetroID, f *traffic.FlowSpec, day int32,
 		}
 	}
 
-	direct := s.directCandidates(asn, m, island, f, day, excluded, exclKey)
+	fr := &r.frames[depth]
+	direct := r.directCandidates(fr, asn, m, island, f, day, excluded, exclKey)
 
 	if len(direct) > 0 {
 		// Gao-Rexford: the direct (peer) route wins on local-pref —
 		// unless this AS prefers local public connectivity and its
 		// nearest own exit is a long haul away.
 		if s.localExit[asn] && direct[0].rawCost > s.cfg.LocalExitThresholdKm {
-			if t := s.bestTransitCost(asn, m, island, f, day, exclKey, visited); t >= 0 && t < direct[0].rawCost {
-				if shares := s.transit(asn, m, island, f, day, excluded, exclKey, visited, depth); len(shares) > 0 {
+			if t := r.bestTransitCost(fr, asn, m, island, f, day, exclKey, vlen); t >= 0 && t < direct[0].rawCost {
+				if shares := r.transit(fr, asn, m, island, f, day, excluded, exclKey, vlen, depth); len(shares) > 0 {
 					return shares
 				}
 			}
 		}
-		return s.ecmpLinks(direct)
+		return r.ecmpLinks(fr, direct)
 	}
-	return s.transit(asn, m, island, f, day, excluded, exclKey, visited, depth)
+	return r.transit(fr, asn, m, island, f, day, excluded, exclKey, vlen, depth)
+}
+
+func (r *resolver) visitedHas(vlen int, asn bgp.ASN) bool {
+	for _, v := range r.visited[:vlen] {
+		if v == asn {
+			return true
+		}
+	}
+	return false
 }
 
 // directCandidates lists the AS's own cloud peering links that carry
 // the prefix, with noisy hot-potato costs, sorted cheapest first.
-func (s *Sim) directCandidates(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+func (r *resolver) directCandidates(fr *walkFrame, asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
 	f *traffic.FlowSpec, day int32, excluded []wan.LinkID, exclKey uint64) []exitCand {
+	s := r.s
 	links := s.linksByAS[asn]
 	if len(links) == 0 {
 		return nil
 	}
-	var out []exitCand
+	out := fr.cands[:0]
 	for _, id := range links {
 		if containsLink(excluded, id) {
 			continue
@@ -263,30 +342,35 @@ func (s *Sim) directCandidates(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
 		cost := raw + s.noiseKm(asn, m, f, uint64(id), day, exclKey)
 		out = append(out, exitCand{link: id, cost: cost, rawCost: raw})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].cost != out[j].cost {
-			return out[i].cost < out[j].cost
+	slices.SortFunc(out, func(a, b exitCand) int {
+		if a.cost != b.cost {
+			if a.cost < b.cost {
+				return -1
+			}
+			return 1
 		}
-		return out[i].link < out[j].link
+		return int(a.link) - int(b.link)
 	})
+	fr.cands = out
 	return out
 }
 
 // ecmpLinks converts the cheapest direct candidates into load-shared
 // link fractions: every candidate within EcmpTolKm of the best shares
 // traffic, with geometrically decreasing weights.
-func (s *Sim) ecmpLinks(cands []exitCand) []LinkShare {
+func (r *resolver) ecmpLinks(fr *walkFrame, cands []exitCand) []LinkShare {
 	best := cands[0].cost
-	shares := make([]LinkShare, 0, 3)
+	shares := fr.shares[:0]
 	w := 1.0
 	for _, c := range cands {
-		if c.cost > best+s.cfg.EcmpTolKm || len(shares) == 3 {
+		if c.cost > best+r.s.cfg.EcmpTolKm || len(shares) == 3 {
 			break
 		}
 		shares = append(shares, LinkShare{Link: c.link, Frac: w})
 		w *= 0.45
 	}
 	normalize(shares)
+	fr.shares = shares
 	return shares
 }
 
@@ -294,21 +378,13 @@ func (s *Sim) ecmpLinks(cands []exitCand) []LinkShare {
 // cloud-bound traffic to, cheapest first: providers on shortest
 // valley-free chains, with the peer clique as a last resort for
 // transit-free networks.
-func (s *Sim) transitCands(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
-	f *traffic.FlowSpec, day int32, exclKey uint64, visited []bgp.ASN) []exitCand {
+func (r *resolver) transitCands(fr *walkFrame, asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, exclKey uint64, vlen int) []exitCand {
+	s := r.s
 	d, reach := s.dist[asn]
-	var out []exitCand
-	addCand := func(nb bgp.ASN, metros []geo.MetroID) {
-		im := s.interconnect(m, island, metros)
-		if im == 0 {
-			return
-		}
-		raw := s.metros.Distance(m, im)
-		cost := raw + s.noiseKm(asn, m, f, uint64(nb)<<24, day, exclKey)
-		out = append(out, exitCand{via: nb, viaM: im, cost: cost, rawCost: raw})
-	}
+	out := fr.tcands[:0]
 	for _, e := range s.g.Edges(asn) {
-		if e.Rel != bgp.RelProvider || containsAS(visited, e.Neighbor) {
+		if e.Rel != bgp.RelProvider || r.visitedHas(vlen, e.Neighbor) {
 			continue
 		}
 		nd, ok := s.dist[e.Neighbor]
@@ -320,40 +396,58 @@ func (s *Sim) transitCands(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
 		if reach && nd > d {
 			continue
 		}
-		addCand(e.Neighbor, e.Metros)
+		out = r.addCand(fr, out, asn, m, island, f, day, exclKey, e.Neighbor, e.Metros)
 	}
 	if len(out) == 0 {
 		// Transit-free networks (tier-1s) whose direct links all lost
 		// the prefix fall back to paid-peering arrangements with the
 		// rest of the clique.
 		for _, e := range s.g.Edges(asn) {
-			if e.Rel != bgp.RelPeer || e.Neighbor == s.g.Cloud() || containsAS(visited, e.Neighbor) {
+			if e.Rel != bgp.RelPeer || e.Neighbor == s.g.Cloud() || r.visitedHas(vlen, e.Neighbor) {
 				continue
 			}
 			if _, ok := s.dist[e.Neighbor]; !ok {
 				continue
 			}
-			addCand(e.Neighbor, e.Metros)
+			out = r.addCand(fr, out, asn, m, island, f, day, exclKey, e.Neighbor, e.Metros)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := s.dist[out[i].via], s.dist[out[j].via]
-		if di != dj {
-			return di < dj
+	slices.SortFunc(out, func(a, b exitCand) int {
+		da, db := s.dist[a.via], s.dist[b.via]
+		if da != db {
+			return da - db
 		}
-		if out[i].cost != out[j].cost {
-			return out[i].cost < out[j].cost
+		if a.cost != b.cost {
+			if a.cost < b.cost {
+				return -1
+			}
+			return 1
 		}
-		return out[i].via < out[j].via
+		return int(a.via) - int(b.via)
 	})
+	fr.tcands = out
 	return out
+}
+
+// addCand appends one transit candidate if an interconnection metro
+// is reachable.
+func (r *resolver) addCand(fr *walkFrame, out []exitCand, asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, exclKey uint64, nb bgp.ASN, metros []geo.MetroID) []exitCand {
+	im := r.interconnect(fr, m, island, metros)
+	if im == 0 {
+		return out
+	}
+	s := r.s
+	raw := s.metros.Distance(m, im)
+	cost := raw + s.noiseKm(asn, m, f, uint64(nb)<<24, day, exclKey)
+	return append(out, exitCand{via: nb, viaM: im, cost: cost, rawCost: raw})
 }
 
 // bestTransitCost returns the raw geographic cost of the nearest
 // transit hand-off, or -1 if there is none.
-func (s *Sim) bestTransitCost(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
-	f *traffic.FlowSpec, day int32, exclKey uint64, visited []bgp.ASN) float64 {
-	cands := s.transitCands(asn, m, island, f, day, exclKey, visited)
+func (r *resolver) bestTransitCost(fr *walkFrame, asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, exclKey uint64, vlen int) float64 {
+	cands := r.transitCands(fr, asn, m, island, f, day, exclKey, vlen)
 	if len(cands) == 0 {
 		return -1
 	}
@@ -367,75 +461,95 @@ func (s *Sim) bestTransitCost(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
 }
 
 // transit recurses into the cheapest transit hand-offs, splitting the
-// flow when two hand-offs are near-ties.
-func (s *Sim) transit(asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
-	f *traffic.FlowSpec, day int32, excluded []wan.LinkID, exclKey uint64, visited []bgp.ASN, depth int) []LinkShare {
-	cands := s.transitCands(asn, m, island, f, day, exclKey, visited)
+// flow when two hand-offs are near-ties. Branch results are folded as
+// (link, weighted frac) pairs and merged with a stable sort by link:
+// per-link contributions accumulate in branch order, which keeps the
+// floating-point sums bit-identical to the historical map-based merge
+// while making the merge order explicit and allocation-free.
+func (r *resolver) transit(fr *walkFrame, asn bgp.ASN, m geo.MetroID, island []geo.MetroID,
+	f *traffic.FlowSpec, day int32, excluded []wan.LinkID, exclKey uint64, vlen, depth int) []LinkShare {
+	s := r.s
+	cands := r.transitCands(fr, asn, m, island, f, day, exclKey, vlen)
 	if len(cands) == 0 {
 		return nil
 	}
-	visited = append(visited, asn)
+	r.visited[vlen] = asn
+	vlen++
 
-	type branch struct {
-		cand   exitCand
-		weight float64
-	}
-	branches := []branch{{cands[0], 1.0}}
+	nBranches := 1
+	branch1Weight := 0.0
 	if len(cands) > 1 &&
 		s.dist[cands[1].via] == s.dist[cands[0].via] &&
 		cands[1].cost <= cands[0].cost+s.cfg.EcmpTolKm {
-		branches = append(branches, branch{cands[1], 0.45})
+		nBranches = 2
+		branch1Weight = 0.45
 	}
 
-	var shares []LinkShare
-	merged := make(map[wan.LinkID]float64)
+	pairs := fr.pairs[:0]
 	resolvedWeight := 0.0
-	for _, b := range branches {
-		sub := s.walk(b.cand.via, b.cand.viaM, f, day, excluded, exclKey, visited, depth+1)
+	for bi := 0; bi < nBranches; bi++ {
+		weight := 1.0
+		if bi == 1 {
+			weight = branch1Weight
+		}
+		c := cands[bi]
+		sub := r.walk(c.via, c.viaM, f, day, excluded, exclKey, vlen, depth+1)
 		if len(sub) == 0 {
 			continue
 		}
-		resolvedWeight += b.weight
+		resolvedWeight += weight
 		for _, sh := range sub {
-			merged[sh.Link] += sh.Frac * b.weight
+			pairs = append(pairs, LinkShare{Link: sh.Link, Frac: sh.Frac * weight})
 		}
 	}
+	fr.pairs = pairs
 	if resolvedWeight == 0 {
 		// Both preferred branches dead-ended (e.g. the prefix is gone
 		// from their links too); try the remaining candidates in
 		// order.
-		for _, c := range cands[len(branches):] {
-			sub := s.walk(c.via, c.viaM, f, day, excluded, exclKey, visited, depth+1)
+		for i := nBranches; i < len(cands); i++ {
+			c := cands[i]
+			sub := r.walk(c.via, c.viaM, f, day, excluded, exclKey, vlen, depth+1)
 			if len(sub) > 0 {
 				return sub
 			}
 		}
 		return nil
 	}
-	for l, frac := range merged {
-		shares = append(shares, LinkShare{Link: l, Frac: frac})
+	slices.SortStableFunc(pairs, func(a, b LinkShare) int {
+		return int(a.Link) - int(b.Link)
+	})
+	out := fr.out[:0]
+	for i := 0; i < len(pairs); {
+		link := pairs[i].Link
+		acc := pairs[i].Frac
+		for i++; i < len(pairs) && pairs[i].Link == link; i++ {
+			acc += pairs[i].Frac
+		}
+		out = append(out, LinkShare{Link: link, Frac: acc})
 	}
-	sort.Slice(shares, func(i, j int) bool { return shares[i].Link < shares[j].Link })
-	normalize(shares)
-	return shares
+	fr.out = out
+	normalize(out)
+	return out
 }
 
 // interconnect picks where the flow crosses into the neighbor AS: the
 // allowed interconnection metro nearest to the flow's current metro.
 // Island-bound flows must leave through their island when possible.
-func (s *Sim) interconnect(m geo.MetroID, island []geo.MetroID, edgeMetros []geo.MetroID) geo.MetroID {
+func (r *resolver) interconnect(fr *walkFrame, m geo.MetroID, island []geo.MetroID, edgeMetros []geo.MetroID) geo.MetroID {
 	if island != nil {
-		var inIsland []geo.MetroID
+		inIsland := fr.inIsland[:0]
 		for _, em := range edgeMetros {
 			if containsMetro(island, em) {
 				inIsland = append(inIsland, em)
 			}
 		}
+		fr.inIsland = inIsland
 		if len(inIsland) > 0 {
-			return s.metros.Nearest(m, inIsland)
+			return r.s.metros.Nearest(m, inIsland)
 		}
 	}
-	return s.metros.Nearest(m, edgeMetros)
+	return r.s.metros.Nearest(m, edgeMetros)
 }
 
 func containsLink(set []wan.LinkID, id wan.LinkID) bool {

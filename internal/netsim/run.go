@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"tipsy/internal/ipfix"
@@ -26,6 +25,17 @@ func (f RecordSinkFunc) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecor
 	f(h, link, rec)
 }
 
+// BatchSink is an optional fast path a RecordSink may implement. When
+// the sink does, Run delivers each hour's records as one RecordBatch
+// call instead of per-record Record calls, amortizing the sink's
+// locking across the hour. Records arrive in exactly the order the
+// per-record path would deliver them; the hour is StartSecs/3600 and
+// the link is Ingress of each record. The slice is reused by Run and
+// must not be retained past the call.
+type BatchSink interface {
+	RecordBatch(recs []ipfix.FlowRecord)
+}
+
 // RunOptions controls one simulation run.
 type RunOptions struct {
 	From, To wan.Hour
@@ -37,91 +47,210 @@ type RunOptions struct {
 	OnHourEnd func(h wan.Hour)
 }
 
+// flowObs is one sampled observation, keyed for deterministic
+// delivery ordering.
+type flowObs struct {
+	flowID int32
+	link   wan.LinkID
+	rec    ipfix.FlowRecord
+}
+
+// flowEpoch caches one flow's resolved link shares for as long as the
+// resolution inputs cannot change: shares are a pure function of
+// (flow, day, availability state, concentration bucket), so they are
+// reusable across hours whose bucket and availability generation
+// match. Buckets never straddle a day boundary (24 is a multiple of
+// concentrateBucketHours), so the bucket also pins the day.
+type flowEpoch struct {
+	bucket int64
+	gen    uint64
+	valid  bool
+	shares []LinkShare
+	// steady holds the flow's steady-state day resolution — a shared
+	// read-only slice from the Sim-wide cache — so an epoch miss
+	// within the same day skips the global cache map entirely.
+	steady      []LinkShare
+	steadyDay   int32
+	steadyValid bool
+}
+
+// runWorker is the persistent per-worker state of Run: a private
+// resolver, reused observation and link-load buffers, and the
+// per-flow share cache. Workers partition flows by ID stride, so each
+// flow's epoch entry is only ever touched by one worker.
+type runWorker struct {
+	res     *resolver
+	obs     []flowObs
+	localLB []float64
+	epochs  []flowEpoch
+}
+
+// availGen fingerprints the availability state relevant to hour h:
+// the set of links in outage plus the withdrawal-state version. Flows
+// resolved under one generation resolve identically for any other
+// hour with the same generation (and the same day/bucket), which is
+// what lets Run reuse shares across the hours of a concentration
+// bucket instead of re-resolving every flow every hour.
+func (s *Sim) availGen(h wan.Hour) uint64 {
+	fp := uint64(0x9e3779b97f4a7c15)
+	for li := range s.links {
+		if s.outages.Down(wan.LinkID(li+1), h) {
+			fp = traffic.Hash(fp ^ uint64(li+1))
+		}
+	}
+	return traffic.Hash(fp ^ s.wdVer.Load())
+}
+
 // Run simulates hours [From, To): it computes each active flow's
 // volume, resolves its ingress links under the current announcement
 // and outage state, accumulates ground-truth link loads, applies
 // 1-in-N packet sampling, and emits IPFIX flow records to the sink.
+//
+// Delivery order is deterministic and independent of the worker
+// count: workers keep their observations sorted by (flowID, link) and
+// Run merges the per-worker streams, which yields the same total
+// order a global sort of all observations would (the keys are unique
+// — a flow resolves at most one share per link per hour).
 func (s *Sim) Run(opts RunOptions) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	workers := s.cfg.Workers
 	flows := s.w.Flows
-
-	type obs struct {
-		flowID int
-		link   wan.LinkID
-		rec    ipfix.FlowRecord
+	if len(s.runWorkers) != workers {
+		s.runWorkers = make([]*runWorker, workers)
+		for w := range s.runWorkers {
+			s.runWorkers[w] = &runWorker{
+				res:     &resolver{s: s},
+				localLB: make([]float64, len(s.links)),
+				epochs:  make([]flowEpoch, len(flows)),
+			}
+		}
 	}
+	bs, _ := opts.Sink.(BatchSink)
+	heads := make([]int, workers)
+	var batch []ipfix.FlowRecord
+
 	for h := opts.From; h < opts.To; h++ {
-		lb := make([]float64, len(s.links))
-		perWorker := make([][]obs, workers)
-		perWorkerLB := make([][]float64, workers)
+		lb := make([]float64, len(s.links)) // retained in s.linkBytes
+		bucket := int64(uint64(h) / concentrateBucketHours)
+		gen := s.availGen(h)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int, h wan.Hour) {
+			go func(ws *runWorker, w int, h wan.Hour) {
 				defer wg.Done()
-				localLB := make([]float64, len(s.links))
-				var out []obs
-				for i := w; i < len(flows); i += workers {
-					f := &flows[i]
-					bytes, packets := traffic.VolumeAt(f, s.metros, h)
-					if bytes <= 0 {
-						continue
-					}
-					shares := s.ResolveFlow(f, h)
-					for _, sh := range shares {
-						b := bytes * sh.Frac
-						p := packets * sh.Frac
-						localLB[sh.Link-1] += b
-						oct, pkt, ok := s.sampleFlow(f, sh.Link, h, b, p)
-						if !ok {
-							continue
-						}
-						out = append(out, obs{
-							flowID: f.ID,
-							link:   sh.Link,
-							rec: ipfix.FlowRecord{
-								SrcAddr:   f.SrcAddr,
-								DstAddr:   f.DstAddr,
-								Octets:    oct,
-								Packets:   pkt,
-								Ingress:   uint32(sh.Link),
-								SrcAS:     uint32(f.SrcAS),
-								StartSecs: uint32(h) * 3600,
-								EndSecs:   uint32(h)*3600 + 3599,
-							},
-						})
-					}
-				}
-				perWorker[w] = out
-				perWorkerLB[w] = localLB
-			}(w, h)
+				ws.runHour(s, flows, w, workers, h, bucket, gen)
+			}(s.runWorkers[w], w, h)
 		}
 		wg.Wait()
 
-		var all []obs
+		// Ground truth merges in worker order, matching the historical
+		// per-worker accumulation order bit for bit.
 		for w := 0; w < workers; w++ {
-			all = append(all, perWorker[w]...)
-			for i, b := range perWorkerLB[w] {
+			for i, b := range s.runWorkers[w].localLB {
 				lb[i] += b
 			}
 		}
-		// Deterministic delivery order regardless of worker count.
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].flowID != all[j].flowID {
-				return all[i].flowID < all[j].flowID
-			}
-			return all[i].link < all[j].link
-		})
 		s.lbMu.Lock()
 		s.linkBytes[h] = lb
 		s.lbMu.Unlock()
+
 		if opts.Sink != nil {
-			for i := range all {
-				opts.Sink.Record(h, all[i].link, &all[i].rec)
+			clear(heads)
+			if bs != nil {
+				batch = batch[:0]
+			}
+			for {
+				best := -1
+				for w := 0; w < workers; w++ {
+					if heads[w] >= len(s.runWorkers[w].obs) {
+						continue
+					}
+					if best < 0 {
+						best = w
+						continue
+					}
+					a := &s.runWorkers[w].obs[heads[w]]
+					b := &s.runWorkers[best].obs[heads[best]]
+					if a.flowID < b.flowID || (a.flowID == b.flowID && a.link < b.link) {
+						best = w
+					}
+				}
+				if best < 0 {
+					break
+				}
+				o := &s.runWorkers[best].obs[heads[best]]
+				heads[best]++
+				if bs != nil {
+					batch = append(batch, o.rec)
+				} else {
+					opts.Sink.Record(h, o.link, &o.rec)
+				}
+			}
+			if bs != nil && len(batch) > 0 {
+				bs.RecordBatch(batch)
 			}
 		}
 		if opts.OnHourEnd != nil {
 			opts.OnHourEnd(h)
+		}
+	}
+}
+
+// runHour processes this worker's flow stride for one hour into the
+// worker's reused buffers.
+func (ws *runWorker) runHour(s *Sim, flows []traffic.FlowSpec, w, workers int, h wan.Hour, bucket int64, gen uint64) {
+	clear(ws.localLB)
+	ws.obs = ws.obs[:0]
+	for i := w; i < len(flows); i += workers {
+		f := &flows[i]
+		bytes, packets := traffic.VolumeAt(f, s.metros, h)
+		if bytes <= 0 {
+			continue
+		}
+		fe := &ws.epochs[f.ID]
+		if !fe.valid || fe.bucket != bucket || fe.gen != gen {
+			day := int32(h.Day())
+			if !fe.steadyValid || fe.steadyDay != day {
+				fe.steady = ws.res.steady(f, h)
+				fe.steadyDay, fe.steadyValid = day, true
+			}
+			shares := ws.res.resolveFlowFrom(f, h, fe.steady)
+			fe.shares = append(fe.shares[:0], shares...)
+			fe.bucket, fe.gen, fe.valid = bucket, gen, true
+		}
+		start := len(ws.obs)
+		for _, sh := range fe.shares {
+			b := bytes * sh.Frac
+			p := packets * sh.Frac
+			ws.localLB[sh.Link-1] += b
+			oct, pkt, ok := s.sampleFlow(f, sh.Link, h, b, p)
+			if !ok {
+				continue
+			}
+			ws.obs = append(ws.obs, flowObs{
+				flowID: int32(f.ID),
+				link:   sh.Link,
+				rec: ipfix.FlowRecord{
+					SrcAddr:   f.SrcAddr,
+					DstAddr:   f.DstAddr,
+					Octets:    oct,
+					Packets:   pkt,
+					Ingress:   uint32(sh.Link),
+					SrcAS:     uint32(f.SrcAS),
+					StartSecs: uint32(h) * 3600,
+					EndSecs:   uint32(h)*3600 + 3599,
+				},
+			})
+		}
+		// Keep each flow's observations link-sorted so the worker's
+		// whole buffer is (flowID, link)-ordered (the flow stride is
+		// ascending); at most a handful of shares, insertion sort.
+		seg := ws.obs[start:]
+		for a := 1; a < len(seg); a++ {
+			for j := a; j > 0 && seg[j].link < seg[j-1].link; j-- {
+				seg[j], seg[j-1] = seg[j-1], seg[j]
+			}
 		}
 	}
 }

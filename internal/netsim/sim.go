@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tipsy/internal/bgp"
 	"tipsy/internal/geo"
@@ -110,9 +111,21 @@ type Sim struct {
 
 	mu        sync.RWMutex
 	withdrawn map[wdKey]bool
+	// anyWithdrawn lets Available skip the read lock entirely in the
+	// common no-withdrawals state; wdVer bumps on every announcement
+	// change so Run knows when cached resolutions must be redone.
+	anyWithdrawn atomic.Bool
+	wdVer        atomic.Uint64
 
 	cacheMu sync.RWMutex
 	cache   map[resKey][]LinkShare
+
+	// resolvers pools resolution scratch for the public ResolveFlow;
+	// Run's workers hold their own. runMu serializes Run calls, which
+	// own runWorkers.
+	resolvers  sync.Pool
+	runMu      sync.Mutex
+	runWorkers []*runWorker
 
 	// linkBytes is ground-truth per-link ingress volume per hour,
 	// filled in by Run.
@@ -302,6 +315,8 @@ func (s *Sim) DstMetadata(addr uint32) (wan.Region, wan.ServiceType, bool) {
 func (s *Sim) Withdraw(link wan.LinkID, prefix bgp.Prefix) {
 	s.mu.Lock()
 	s.withdrawn[wdKey{link, prefix}] = true
+	s.anyWithdrawn.Store(true)
+	s.wdVer.Add(1)
 	s.mu.Unlock()
 }
 
@@ -309,6 +324,8 @@ func (s *Sim) Withdraw(link wan.LinkID, prefix bgp.Prefix) {
 func (s *Sim) Announce(link wan.LinkID, prefix bgp.Prefix) {
 	s.mu.Lock()
 	delete(s.withdrawn, wdKey{link, prefix})
+	s.anyWithdrawn.Store(len(s.withdrawn) > 0)
+	s.wdVer.Add(1)
 	s.mu.Unlock()
 }
 
@@ -352,10 +369,23 @@ func (s *Sim) Available(link wan.LinkID, prefix bgp.Prefix, h wan.Hour) bool {
 	if s.outages.Down(link, h) {
 		return false
 	}
+	if !s.anyWithdrawn.Load() {
+		return true
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return !s.withdrawn[wdKey{link, prefix}]
 }
+
+// getResolver draws resolution scratch from the pool.
+func (s *Sim) getResolver() *resolver {
+	if r, ok := s.resolvers.Get().(*resolver); ok {
+		return r
+	}
+	return &resolver{s: s}
+}
+
+func (s *Sim) putResolver(r *resolver) { s.resolvers.Put(r) }
 
 // LinkBytes returns the ground-truth ingress bytes link carried during
 // hour h (0 if the hour was not simulated).

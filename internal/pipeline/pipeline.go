@@ -8,8 +8,9 @@
 package pipeline
 
 import (
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"tipsy/internal/bgp"
 	"tipsy/internal/features"
@@ -34,11 +35,68 @@ type TruthSink interface {
 	ObserveTruth(rec features.Record)
 }
 
-// aggKey indexes one hourly aggregate.
-type aggKey struct {
-	hour wan.Hour
-	flow features.FlowFeatures
-	link wan.LinkID
+// The aggregator is sharded by source prefix: each shard owns its own
+// lock, its own slice of the hourly counter maps, and its own slice of
+// the metadata join cache, so concurrent ingest only contends when two
+// records hash to the same shard. Eight shards keeps per-(shard, hour)
+// maps small enough to stay cache-resident at simulator scale while
+// covering typical collector fan-in; the drain re-establishes one
+// global deterministic order, so shard count never leaks into output.
+const (
+	aggShardBits = 3
+	aggShards    = 1 << aggShardBits
+)
+
+// shardOf places a source /24 prefix on a shard. Fibonacci hashing
+// spreads the sequential prefixes simulators generate.
+func shardOf(prefix uint32) uint32 {
+	return (prefix * 0x9E3779B1) >> (32 - aggShardBits)
+}
+
+// joinKey identifies one distinct metadata join: everything the
+// joined FlowFeatures depends on. Flow records repeat (src, dst, AS)
+// combinations constantly, so caching the join skips the Geo-IP and
+// metadata lookups on the hot path.
+type joinKey struct {
+	prefix uint32
+	dst    uint32
+	as     uint32
+}
+
+// aggShard is one lock's worth of aggregator state. Feature tuples
+// are interned per shard: join results resolve to a small feature ID,
+// and the hourly counters are keyed by the packed (feature ID, link)
+// uint64 — integer-keyed map operations are several times cheaper
+// than hashing the full feature struct per record. Interning
+// deduplicates by feature value, so two joins that land on the same
+// feature tuple (different destination addresses with the same
+// region and service) share one ID and therefore one accumulator,
+// exactly as a struct-keyed map would.
+type aggShard struct {
+	mu   sync.Mutex
+	join map[joinKey]int32 // -1: destination has no metadata, drop
+	// feats maps feature ID back to the tuple; featIndex dedupes
+	// tuples on join misses. feats entries are immutable once
+	// appended, so a slice header captured under the lock stays
+	// valid after release.
+	feats     []features.FlowFeatures
+	featIndex map[features.FlowFeatures]int32
+	hours     map[wan.Hour]map[uint64]float64
+	// curHour/cur cache the last hour's counter map: records arrive
+	// in long same-hour runs, so the hours lookup almost always skips.
+	curHour wan.Hour
+	cur     map[uint64]float64
+	// lastKey/lastID memoize the most recent join: batches arrive
+	// flow-sorted, so consecutive records usually share the join key.
+	lastKey   joinKey
+	lastID    int32
+	lastValid bool
+}
+
+// counterKey packs an interned feature ID and a link into the hourly
+// counter map key.
+func counterKey(id int32, link wan.LinkID) uint64 {
+	return uint64(uint32(id))<<32 | uint64(uint32(link))
 }
 
 // aggregatorMetrics are the aggregator's registry-backed counters:
@@ -59,16 +117,24 @@ func newAggregatorMetrics(reg *obsv.Registry) aggregatorMetrics {
 }
 
 // Aggregator consumes IPFIX flow records and produces hourly
-// aggregated feature records. It implements netsim.RecordSink. Safe
-// for concurrent use.
+// aggregated feature records. It implements netsim.RecordSink and
+// netsim.BatchSink. Safe for concurrent use; ingest is sharded by
+// source prefix so concurrent callers rarely share a lock.
+//
+// The Geo-IP database and Metadata func are treated as immutable
+// mappings for the aggregator's lifetime — join results are cached.
 type Aggregator struct {
 	geoip *geo.GeoIP
 	meta  Metadata
 
-	mu    sync.Mutex
-	acc   map[aggKey]float64
-	m     aggregatorMetrics
-	truth TruthSink
+	shards [aggShards]aggShard
+	// keys counts distinct aggregates across all shards — the drain
+	// capacity hint and the pending gauge's source of truth.
+	keys atomic.Int64
+	m    aggregatorMetrics
+
+	truthMu sync.Mutex
+	truth   TruthSink
 }
 
 // NewAggregator builds an aggregator joining against the given Geo-IP
@@ -80,11 +146,16 @@ func NewAggregator(geoip *geo.GeoIP, meta Metadata) *Aggregator {
 // NewAggregatorOn builds an aggregator whose counters live in reg
 // under the pipeline_ prefix.
 func NewAggregatorOn(reg *obsv.Registry, geoip *geo.GeoIP, meta Metadata) *Aggregator {
-	return &Aggregator{
+	a := &Aggregator{
 		geoip: geoip, meta: meta,
-		acc: make(map[aggKey]float64),
-		m:   newAggregatorMetrics(reg),
+		m: newAggregatorMetrics(reg),
 	}
+	for i := range a.shards {
+		a.shards[i].join = make(map[joinKey]int32)
+		a.shards[i].featIndex = make(map[features.FlowFeatures]int32)
+		a.shards[i].hours = make(map[wan.Hour]map[uint64]float64)
+	}
+	return a
 }
 
 // Record ingests one sampled flow record observed during hour h.
@@ -94,53 +165,246 @@ func NewAggregatorOn(reg *obsv.Registry, geoip *geo.GeoIP, meta Metadata) *Aggre
 //
 //tipsy:hotpath
 func (a *Aggregator) Record(h wan.Hour, link wan.LinkID, rec *ipfix.FlowRecord) {
-	region, svc, ok := a.meta(rec.DstAddr)
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.m.raw.Inc()
-	if !ok {
+	prefix := bgp.Slash24(rec.SrcAddr)
+	s := &a.shards[shardOf(prefix)]
+	s.mu.Lock()
+	a.applyLocked(s, h, link, prefix, rec)
+	s.mu.Unlock()
+}
+
+// batchScratch is RecordBatch's pooled per-call work area: record
+// indices grouped by destination shard.
+type batchScratch struct {
+	idx [aggShards][]int32
+}
+
+func (s *batchScratch) assign(sh uint32, i int32) {
+	s.idx[sh] = append(s.idx[sh], i)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// RecordBatch ingests a batch of flow records, deriving the hour from
+// each record's start timestamp and the link from its ingress
+// interface (the collector fills both from the wire). Records are
+// grouped by shard first so each shard lock is taken at most once per
+// batch — with ~64-record IPFIX messages that amortizes lock traffic
+// roughly an order of magnitude versus per-record Record calls.
+// Within a shard, records apply in batch order, so per-key float
+// accumulation order — and therefore the drained output — is
+// bit-identical to feeding the same stream through Record.
+//
+//tipsy:hotpath
+func (a *Aggregator) RecordBatch(recs []ipfix.FlowRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	a.m.raw.Add(uint64(len(recs)))
+	sc := scratchPool.Get().(*batchScratch)
+	for i := range recs {
+		sc.assign(shardOf(bgp.Slash24(recs[i].SrcAddr)), int32(i))
+	}
+	for si := range sc.idx {
+		idx := sc.idx[si]
+		if len(idx) == 0 {
+			continue
+		}
+		s := &a.shards[si]
+		s.mu.Lock()
+		for _, i := range idx {
+			rec := &recs[i]
+			a.applyLocked(s, wan.Hour(rec.StartSecs/3600), wan.LinkID(rec.Ingress),
+				bgp.Slash24(rec.SrcAddr), rec)
+		}
+		s.mu.Unlock()
+		sc.idx[si] = idx[:0]
+	}
+	scratchPool.Put(sc)
+}
+
+// applyLocked joins and accumulates one record into shard s. The
+// caller holds s.mu and has already counted the record as raw.
+func (a *Aggregator) applyLocked(s *aggShard, h wan.Hour, link wan.LinkID, prefix uint32, rec *ipfix.FlowRecord) {
+	jk := joinKey{prefix: prefix, dst: rec.DstAddr, as: rec.SrcAS}
+	var id int32
+	if s.lastValid && jk == s.lastKey {
+		id = s.lastID
+	} else {
+		var seen bool
+		id, seen = s.join[jk]
+		if !seen {
+			id = a.joinMiss(s, jk, prefix, rec)
+		}
+		s.lastKey, s.lastID, s.lastValid = jk, id, true
+	}
+	if id < 0 {
 		a.m.dropped.Inc()
 		return
 	}
-	prefix := bgp.Slash24(rec.SrcAddr)
-	key := aggKey{
-		hour: h,
-		flow: features.FlowFeatures{
+	m := s.cur
+	if m == nil || s.curHour != h {
+		m = s.hours[h]
+		if m == nil {
+			m = make(map[uint64]float64)
+			s.hours[h] = m
+		}
+		s.curHour = h
+		s.cur = m
+	}
+	k := counterKey(id, link)
+	before := len(m)
+	m[k] += float64(rec.Octets)
+	if len(m) != before {
+		a.m.pending.Set(a.keys.Add(1))
+	}
+}
+
+// joinMiss performs the metadata and Geo-IP joins for a key not yet
+// cached, interns the resulting feature tuple, and records the
+// mapping. Returns the feature ID, or -1 when the destination has no
+// metadata.
+func (a *Aggregator) joinMiss(s *aggShard, jk joinKey, prefix uint32, rec *ipfix.FlowRecord) int32 {
+	region, svc, ok := a.meta(rec.DstAddr)
+	id := int32(-1)
+	if ok {
+		f := features.FlowFeatures{
 			AS:     bgp.ASN(rec.SrcAS),
 			Prefix: prefix,
 			Loc:    a.geoip.Lookup(prefix),
 			Region: region,
 			Type:   svc,
-		},
-		link: link,
+		}
+		var have bool
+		if id, have = s.featIndex[f]; !have {
+			id = int32(len(s.feats))
+			s.feats = append(s.feats, f)
+			s.featIndex[f] = id
+		}
 	}
-	a.acc[key] += float64(rec.Octets)
-	a.m.pending.Set(int64(len(a.acc)))
+	s.join[jk] = id
+	return id
 }
 
 // SetTruthSink registers a sink that receives every drained record as
 // ground truth. Set it before the drain whose records it should see.
 func (a *Aggregator) SetTruthSink(ts TruthSink) {
-	a.mu.Lock()
+	a.truthMu.Lock()
 	a.truth = ts
-	a.mu.Unlock()
+	a.truthMu.Unlock()
 }
 
 // Records drains the aggregator, returning the hourly feature records
-// in deterministic order (hour, then feature tuple, then link). When
-// a truth sink is registered, the drained records are also streamed
-// to it in the same order.
+// in deterministic order (hour, then feature tuple, then link). All
+// shard locks are held together — in shard order, so lock acquisition
+// is totally ordered — while the counter maps are swapped out, making
+// the drain an atomic snapshot; the merged sort then erases any trace
+// of the sharding, so output order is byte-identical to a single-map
+// aggregator's. When a truth sink is registered, the drained records
+// are also streamed to it in the same order.
 func (a *Aggregator) Records() []features.Record {
-	a.mu.Lock()
-	out := make([]features.Record, 0, len(a.acc))
-	for k, b := range a.acc {
-		out = append(out, features.Record{Hour: k.hour, Flow: k.flow, Link: k.link, Bytes: b})
+	var hours [aggShards]map[wan.Hour]map[uint64]float64
+	var feats [aggShards][]features.FlowFeatures
+	for i := range a.shards {
+		a.shards[i].mu.Lock()
 	}
-	a.acc = make(map[aggKey]float64)
+	for i := range a.shards {
+		s := &a.shards[i]
+		hours[i] = s.hours
+		feats[i] = s.feats
+		s.hours = make(map[wan.Hour]map[uint64]float64)
+		s.cur = nil
+		s.curHour = 0
+	}
+	total := a.keys.Swap(0)
 	a.m.pending.Set(0)
+	for i := range a.shards {
+		a.shards[i].mu.Unlock()
+	}
+	// Sort hour by hour: the hour is the leading sort key and
+	// aggregate keys are unique, so concatenating per-hour sorted
+	// segments is byte-identical to one global sort while the n·log n
+	// term pays only for the (much smaller) per-hour record counts.
+	var hs []wan.Hour
+	seenHour := make(map[wan.Hour]bool)
+	for i := range hours {
+		for h := range hours[i] {
+			if !seenHour[h] {
+				seenHour[h] = true
+				hs = append(hs, h)
+			}
+		}
+	}
+	slices.Sort(hs)
+	// Fast path: when every feature tuple packs into two uint64 sort
+	// keys (region needs 8 bits; locations and types always fit), the
+	// per-hour sort compares integers instead of walking struct
+	// fields. Key order is exactly cmpRecord's field order, so both
+	// paths emit identical output.
+	canPack := true
+	for i := range feats {
+		for j := range feats[i] {
+			if feats[i][j].Region > 0xFF {
+				canPack = false
+			}
+		}
+	}
+	out := make([]features.Record, 0, total)
+	var packed []packedRec
+	for _, h := range hs {
+		if canPack {
+			packed = packed[:0]
+			for i := range hours {
+				ff := feats[i]
+				for k, b := range hours[i][h] {
+					f := &ff[k>>32]
+					packed = append(packed, packedRec{
+						k1: uint64(f.AS)<<32 | uint64(f.Prefix),
+						k2: uint64(f.Loc)<<48 | uint64(f.Region)<<40 |
+							uint64(f.Type)<<32 | uint64(uint32(k)),
+						bytes: b,
+					})
+				}
+			}
+			slices.SortFunc(packed, func(a, b packedRec) int {
+				if a.k1 != b.k1 {
+					return cmpU64(a.k1, b.k1)
+				}
+				return cmpU64(a.k2, b.k2)
+			})
+			for _, p := range packed {
+				out = append(out, features.Record{
+					Hour: h,
+					Flow: features.FlowFeatures{
+						AS:     bgp.ASN(p.k1 >> 32),
+						Prefix: uint32(p.k1),
+						Loc:    geo.MetroID(p.k2 >> 48),
+						Region: wan.Region(p.k2 >> 40 & 0xFF),
+						Type:   wan.ServiceType(p.k2 >> 32 & 0xFF),
+					},
+					Link:  wan.LinkID(uint32(p.k2)),
+					Bytes: p.bytes,
+				})
+			}
+			continue
+		}
+		start := len(out)
+		for i := range hours {
+			ff := feats[i]
+			for k, b := range hours[i][h] {
+				out = append(out, features.Record{
+					Hour:  h,
+					Flow:  ff[k>>32],
+					Link:  wan.LinkID(uint32(k)),
+					Bytes: b,
+				})
+			}
+		}
+		slices.SortFunc(out[start:], cmpRecord)
+	}
+	a.truthMu.Lock()
 	truth := a.truth
-	a.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return lessRecord(&out[i], &out[j]) })
+	a.truthMu.Unlock()
 	if truth != nil {
 		for i := range out {
 			truth.ObserveTruth(out[i])
@@ -149,34 +413,50 @@ func (a *Aggregator) Records() []features.Record {
 	return out
 }
 
-func lessRecord(a, b *features.Record) bool {
-	if a.Hour != b.Hour {
-		return a.Hour < b.Hour
+// packedRec is one drained aggregate with its feature tuple and link
+// packed into two integer sort keys (see Records).
+type packedRec struct {
+	k1, k2 uint64
+	bytes  float64
+}
+
+// cmpRecord is the drain's total order: hour, feature tuple, link.
+// Aggregate keys are unique, so the order admits no ties and the
+// sorted output is fully deterministic.
+func cmpRecord(a, b features.Record) int {
+	switch {
+	case a.Hour != b.Hour:
+		return cmpU64(uint64(a.Hour), uint64(b.Hour))
+	case a.Flow.AS != b.Flow.AS:
+		return cmpU64(uint64(a.Flow.AS), uint64(b.Flow.AS))
+	case a.Flow.Prefix != b.Flow.Prefix:
+		return cmpU64(uint64(a.Flow.Prefix), uint64(b.Flow.Prefix))
+	case a.Flow.Loc != b.Flow.Loc:
+		return cmpU64(uint64(a.Flow.Loc), uint64(b.Flow.Loc))
+	case a.Flow.Region != b.Flow.Region:
+		return cmpU64(uint64(a.Flow.Region), uint64(b.Flow.Region))
+	case a.Flow.Type != b.Flow.Type:
+		return cmpU64(uint64(a.Flow.Type), uint64(b.Flow.Type))
+	default:
+		return cmpU64(uint64(a.Link), uint64(b.Link))
 	}
-	if a.Flow.AS != b.Flow.AS {
-		return a.Flow.AS < b.Flow.AS
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
 	}
-	if a.Flow.Prefix != b.Flow.Prefix {
-		return a.Flow.Prefix < b.Flow.Prefix
-	}
-	if a.Flow.Loc != b.Flow.Loc {
-		return a.Flow.Loc < b.Flow.Loc
-	}
-	if a.Flow.Region != b.Flow.Region {
-		return a.Flow.Region < b.Flow.Region
-	}
-	if a.Flow.Type != b.Flow.Type {
-		return a.Flow.Type < b.Flow.Type
-	}
-	return a.Link < b.Link
 }
 
 // Stats reports how many raw records were ingested, how many were
 // dropped for missing metadata, and how many aggregates are pending.
 func (a *Aggregator) Stats() (raw, dropped, pending int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return int(a.m.raw.Value()), int(a.m.dropped.Value()), len(a.acc)
+	return int(a.m.raw.Value()), int(a.m.dropped.Value()), int(a.keys.Load())
 }
 
 // Encoded compresses feature records with ordinal dictionaries — the

@@ -321,6 +321,17 @@ func Hash(x uint64) uint64 { return mix(x) }
 // tzOffsetHours approximates a metro's UTC offset from its longitude.
 func tzOffsetHours(lon float64) int { return int(math.Round(lon / 15)) }
 
+// diurnalCurve tabulates the diurnal modulation for the 24 possible
+// local hours; VolumeAt runs once per (flow, hour) and the sine
+// dominated its cost. Entries are the exact values the inline
+// expression produced.
+var diurnalCurve = func() (t [24]float64) {
+	for lh := 0; lh < 24; lh++ {
+		t[lh] = 0.65 + 0.35*math.Sin(2*math.Pi*float64(lh-8)/24)
+	}
+	return
+}()
+
 // VolumeAt returns the aggregate's volume in bytes for the given
 // simulated hour: base rate modulated by the source metro's local
 // diurnal cycle, a weekly pattern, deterministic jitter, and — for
@@ -332,7 +343,7 @@ func VolumeAt(f *FlowSpec, metros *geo.DB, h wan.Hour) (bytes float64, packets f
 	}
 	localHour := (h.HourOfDay() + tzOffsetHours(m.Lon) + 48) % 24
 	// Diurnal: peak at 14:00 local, trough at 02:00.
-	diurnal := 0.65 + 0.35*math.Sin(2*math.Pi*float64(localHour-8)/24)
+	diurnal := diurnalCurve[localHour]
 	// Weekly: enterprise traffic dips on weekends.
 	weekly := 1.0
 	if dow := h.DayOfWeek(); dow >= 5 {

@@ -89,14 +89,21 @@ echo "==> fuzz quick pass (15s per decoder)"
 go test -fuzz=FuzzIPFIXDecode -fuzztime=15s -run '^$' ./internal/ipfix
 go test -fuzz=FuzzBMPDecode -fuzztime=15s -run '^$' ./internal/bmp
 
+echo "==> differential decode (compiled path vs reference)"
+go test -run 'TestDifferentialDecode|TestDifferentialDecodeFuzzCorpus|TestDifferentialCollectorBatch' \
+    -count=1 ./internal/ipfix
+
 echo "==> tipsybench -quick (twice: second run compared against first)"
 benchout=$(mktemp -d)
 go run ./cmd/tipsybench -quick -out "$benchout/bench.json"
 # Re-run the same seeded cycle and diff: the deterministic fields must
 # reproduce exactly (-compare exits non-zero otherwise); timing drift
-# only warns. The tolerance is loose because CI machines are noisy.
+# only warns (loose tolerance — CI machines are noisy). The ingest
+# stage alone gets a hard floor: both runs come from the same machine
+# seconds apart, so losing >10% of ingest throughput between them
+# means real contention or a pathological regression, not noise.
 go run ./cmd/tipsybench -quick -out "$benchout/bench2.json" \
-    -compare "$benchout/bench.json" -timing-tol 1.0
+    -compare "$benchout/bench.json" -timing-tol 1.0 -ingest-floor 0.9
 rm -rf "$benchout"
 
 echo "==> chaos soak smoke"
