@@ -86,7 +86,27 @@ func Compare(prior, cur *Report, timingTol float64) CompareResult {
 		warnPerRecord(&res, "stage "+p.Name+" bytes_per_record", p.BytesPerRecord, c.BytesPerRecord)
 	}
 	warnTiming(&res, "total", prior.TotalWallNs, cur.TotalWallNs, timingTol)
+	warnTracing(&res, "tracing sampled span overhead", prior.TracingSampledNs, cur.TracingSampledNs)
+	warnTracing(&res, "tracing disabled span overhead", prior.TracingDisabledNs, cur.TracingDisabledNs)
 	return res
+}
+
+// tracingTol is the relative per-span overhead growth tolerated
+// before a warning. A span lifecycle is tens of nanoseconds, where
+// scheduler noise dwarfs real drift, so the band is wide; reports
+// predating the fields (value 0) are skipped by the prior<=0 guard,
+// and improvements are silent.
+const tracingTol = 1.0
+
+func warnTracing(res *CompareResult, what string, prior, cur int64) {
+	if prior <= 0 {
+		return
+	}
+	delta := float64(cur-prior) / float64(prior)
+	if delta > tracingTol {
+		res.warn("%s %+.0f%% (%d ns -> %d ns per span, tolerance +%.0f%%)",
+			what, 100*delta, prior, cur, 100*tracingTol)
+	}
 }
 
 func warnTiming(res *CompareResult, what string, prior, cur int64, tol float64) {

@@ -92,6 +92,13 @@ type Report struct {
 	Env         EnvSummary         `json:"env"`
 	Metrics     map[string]int64   `json:"metrics"`  // pipeline registry scalars
 	Accuracy    map[string]float64 `json:"accuracy"` // "k1", "k3"
+
+	// Tracing overhead, ns per span lifecycle (start, one attribute,
+	// end): sampled measures a recording tracer, disabled a nil one —
+	// the cost instrumented hot paths pay when tracing is off. Both
+	// are timing fields.
+	TracingSampledNs  int64 `json:"tracing_sampled_ns"`
+	TracingDisabledNs int64 `json:"tracing_disabled_ns"`
 }
 
 // StripTiming zeroes every field that may legitimately differ between
@@ -100,6 +107,8 @@ type Report struct {
 func (r *Report) StripTiming() {
 	r.Date = ""
 	r.TotalWallNs = 0
+	r.TracingSampledNs = 0
+	r.TracingDisabledNs = 0
 	for i := range r.Stages {
 		r.Stages[i].WallNs = 0
 		r.Stages[i].AllocBytes = 0
@@ -228,7 +237,34 @@ func run(cfg eval.EnvConfig, config string) *Report {
 	})
 
 	rep.Metrics = reg.Snapshot().Scalars()
+	rep.TracingSampledNs, rep.TracingDisabledNs = measureTracingOverhead()
 	return rep
+}
+
+// measureTracingOverhead times one span lifecycle — start, one int
+// attribute, end — against a recording tracer and against a nil
+// (disabled) one. The disabled number is the tax every instrumented
+// hot path pays when tracing is off; it should be a handful of
+// nanoseconds of nil checks.
+func measureTracingOverhead() (sampledNs, disabledNs int64) {
+	const iters = 200_000
+	tr := obsv.NewTracer(obsv.NewRecorder(1024), obsv.TracerOptions{})
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sp := tr.StartRoot("bench")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	sampledNs = time.Since(start).Nanoseconds() / iters
+	var off *obsv.Tracer
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		sp := off.StartRoot("bench")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	disabledNs = time.Since(start).Nanoseconds() / iters
+	return sampledNs, disabledNs
 }
 
 func main() {
@@ -303,6 +339,8 @@ func main() {
 			s.Name, s.Items, float64(s.WallNs)/1e6, s.ItemsPerSec, float64(s.AllocBytes)/1e6, s.AllocsPerRecord)
 	}
 	fmt.Fprintf(os.Stdout, "total     %39.2fms  -> %s\n", float64(rep.TotalWallNs)/1e6, path)
+	fmt.Fprintf(os.Stdout, "tracing   %d ns/span sampled, %d ns/span disabled\n",
+		rep.TracingSampledNs, rep.TracingDisabledNs)
 
 	if *compare != "" {
 		prior, err := loadReport(*compare)

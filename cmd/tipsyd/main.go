@@ -13,6 +13,15 @@
 //	GET  /v1/model           model metadata
 //	GET  /v1/links           link directory
 //	POST /v1/predict         predict ingress links for flows
+//	GET  /debug/quality      online quality report and alarms
+//	GET  /debug/trace        flight-recorder span dump (JSON or Chrome trace)
+//	GET  /debug/bundle       write + verify a diagnostic bundle on demand
+//
+// Every handler participates in span tracing: an inbound traceparent
+// header parents the request's spans (and is echoed on the response),
+// and the flight recorder keeps the most recent spans for
+// /debug/trace and diagnostic bundles. When a quality alarm fires the
+// daemon writes a bundle automatically (see -bundle-dir).
 //
 // The -day-every flag compresses simulated time: every interval the
 // daemon simulates one more day of traffic and retrains.
@@ -34,16 +43,23 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	rpprof "runtime/pprof"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
 
 	"tipsy/internal/bgp"
+	"tipsy/internal/bundle"
 	"tipsy/internal/core"
 	"tipsy/internal/dataset"
 	"tipsy/internal/features"
@@ -74,6 +90,7 @@ type serverMetrics struct {
 	ensemble, historical, geo, none       *obsv.Counter
 	rungEnsemble, rungHistorical, rungGeo *obsv.Histogram
 	requests                              *obsv.Counter
+	bundles                               *obsv.Counter
 }
 
 func newServerMetrics(reg *obsv.Registry) serverMetrics {
@@ -86,6 +103,7 @@ func newServerMetrics(reg *obsv.Registry) serverMetrics {
 		rungHistorical: reg.Histogram("tipsyd_rung_historical_ns"),
 		rungGeo:        reg.Histogram("tipsyd_rung_geo_ns"),
 		requests:       reg.Counter("tipsyd_predict_requests_total"),
+		bundles:        reg.Counter("tipsyd_bundles_written_total"),
 	}
 }
 
@@ -120,6 +138,32 @@ type server struct {
 	// hours behind the telemetry. 0 disables the staleness check.
 	staleAfter wan.Hour
 
+	// clock is the nanosecond wall clock behind every span timestamp
+	// and the per-rung ladder timings; tests swap it for a counter so
+	// span dumps golden. It must be safe for concurrent use.
+	clock func() int64
+	// tracer + flight are the span-tracing subsystem: spans land in
+	// the flight-recorder ring, which /debug/trace and diagnostic
+	// bundles dump. A nil tracer disables tracing entirely.
+	tracer *obsv.Tracer
+	flight *obsv.Recorder
+	// rtb samples runtime/metrics (GC pauses, heap, goroutines) into
+	// the registry on each /metrics scrape and bundle write.
+	rtb *obsv.RuntimeBridge
+	// logRing keeps the recent slog tail for diagnostic bundles; main
+	// tees the process logger into it.
+	logRing *obsv.LogRing
+	// bundleDir is where alarm-triggered and on-demand diagnostic
+	// bundles land; empty disables bundle writing.
+	bundleDir string
+	seed      int64
+	logBundle *slog.Logger
+
+	// bundleMu serializes bundle writes; bundleSeq makes names unique
+	// even under a frozen fake clock.
+	bundleMu  sync.Mutex
+	bundleSeq uint64
+
 	mu        sync.RWMutex
 	model     core.Predictor   // rung 1: the trained ensemble
 	histA     *core.Historical // rung 2: coarse source-AS model
@@ -131,6 +175,13 @@ type server struct {
 	tuples    int
 	recovered bool // serving models recovered from a checkpoint
 }
+
+// defaultTraceSpans sizes the flight-recorder ring; logRingBytes
+// sizes the slog tail kept for diagnostic bundles.
+const (
+	defaultTraceSpans = 4096
+	logRingBytes      = 64 << 10
+)
 
 func main() {
 	var (
@@ -144,15 +195,25 @@ func main() {
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		traceSample  = flag.Uint64("trace-sample", 1, "record every Nth trace (1 = all, 0 disables tracing)")
+		traceSpans   = flag.Int("trace-spans", defaultTraceSpans, "flight-recorder capacity in spans")
+		bundleDir    = flag.String("bundle-dir", filepath.Join(os.TempDir(), "tipsy-bundles"),
+			"directory for diagnostic bundles (empty disables)")
 	)
 	flag.Parse()
 
-	slog.SetDefault(newLogger(os.Stderr, *logLevel, *logJSON))
+	// Tee the process logger into a ring so diagnostic bundles carry
+	// the log lines leading up to an incident.
+	ring := obsv.NewLogRing(logRingBytes)
+	slog.SetDefault(newLogger(io.MultiWriter(os.Stderr, ring), *logLevel, *logJSON))
 
 	s := newServer(*seed, *trainDays)
+	s.logRing = ring
 	s.checkpointPath = *checkpoint
 	s.staleAfter = wan.Hour(*staleAfter)
 	s.pprofEnabled = *pprofFlag
+	s.bundleDir = *bundleDir
+	s.initTrace(*traceSample, *traceSpans)
 	if *retrainEvery > 0 {
 		s.retrainEvery = *retrainEvery
 	}
@@ -176,8 +237,10 @@ func main() {
 		s.logMain.Info("serving from recovered checkpoint; skipping bootstrap")
 	} else {
 		s.logMain.Info("bootstrapping", "sim_days", *trainDays)
-		s.advanceDays(*trainDays)
-		s.retrain()
+		root := s.tracer.StartRoot("cycle")
+		s.advanceDaysTraced(*trainDays, root)
+		s.retrainTraced(root)
+		root.End()
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -193,7 +256,7 @@ func main() {
 
 // newLogger builds the process-wide slog handler from the -log-level
 // and -log-json flags. An unknown level falls back to info.
-func newLogger(w *os.File, level string, jsonOut bool) *slog.Logger {
+func newLogger(w io.Writer, level string, jsonOut bool) *slog.Logger {
 	var lvl slog.Level
 	if err := lvl.UnmarshalText([]byte(level)); err != nil {
 		lvl = slog.LevelInfo
@@ -224,7 +287,11 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 		for {
 			select {
 			case <-ticker.C:
-				s.advanceDays(1)
+				// Each tick is one ingest/retrain cycle under a root
+				// span, so the flight recorder links the day's ingest,
+				// drain, truth join, and retrain together.
+				root := s.tracer.StartRoot("cycle")
+				s.advanceDaysTraced(1, root)
 				days++
 				// Sustained drift or a post-withdrawal collapse pulls
 				// the retrain forward: a stale model is the one thing a
@@ -232,13 +299,16 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 				forced := s.mon.AlarmFiring(monitor.AlarmDrift) ||
 					s.mon.AlarmFiring(monitor.AlarmPostWithdrawal)
 				if days < s.retrainEvery && !forced {
+					root.End()
 					continue
 				}
 				if forced && days < s.retrainEvery {
 					s.logTrain.Warn("quality alarm forcing early retrain",
 						"days_since_retrain", days, "retrain_every", s.retrainEvery)
+					root.Event("forced_retrain")
 				}
-				s.retrain()
+				s.retrainTraced(root)
+				root.End()
 				days = 0
 			case <-stop:
 				return
@@ -246,7 +316,7 @@ func run(ctx context.Context, s *server, listen string, dayEvery time.Duration) 
 		}
 	}()
 
-	srv := &http.Server{Addr: listen, Handler: s.mux()}
+	srv := &http.Server{Addr: listen, Handler: s.handler()}
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- srv.ListenAndServe()
@@ -301,20 +371,69 @@ func newServerCfg(seed int64, trainDays int, mcfg monitor.Config) *server {
 		mcfg.LinkMeta = linkMeta(sim)
 	}
 	logger := slog.Default()
-	return &server{
+	s := &server{
 		sim:          sim,
 		metros:       metros,
 		trainDays:    trainDays,
 		reg:          reg,
 		met:          newServerMetrics(reg),
-		mon:          monitor.New(mcfg, reg),
 		retrainEvery: 1,
 		logMain:      logger.With("component", "main"),
 		logTrain:     logger.With("component", "train"),
 		logHTTP:      logger.With("component", "http"),
 		logCkpt:      logger.With("component", "checkpoint"),
+		logBundle:    logger.With("component", "bundle"),
 		geoFall:      core.NewGeoNearest(sim, metros),
+		clock:        realClock,
+		rtb:          obsv.NewRuntimeBridge(reg),
+		logRing:      obsv.NewLogRing(logRingBytes),
+		seed:         seed,
 	}
+	// The alarm hook must be wired before the monitor exists so no
+	// transition into firing can be missed.
+	mcfg.OnAlarm = s.onAlarm
+	s.mon = monitor.New(mcfg, reg)
+	s.reg.SetInfo("tipsy_build_info", buildInfoLabels(seed))
+	return s
+}
+
+// realClock is the production span clock; tests swap server.clock for
+// a counter so span dumps golden.
+//
+//tipsy:clocksource
+func realClock() int64 { return time.Now().UnixNano() }
+
+// buildVersion reports the module version stamped into the binary, or
+// "unknown" for plain `go test` / development builds.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// buildInfoLabels renders the tipsy_build_info label set — the
+// standard "info metric" idiom: a constant-1 gauge whose labels carry
+// the build identity.
+func buildInfoLabels(seed int64) string {
+	return fmt.Sprintf("go_version=%q,seed=%q,version=%q",
+		runtime.Version(), strconv.FormatInt(seed, 10), buildVersion())
+}
+
+// initTrace wires the span-tracing subsystem: a flight recorder of
+// capacity spans and a tracer recording every sampleEvery-th root
+// trace. sampleEvery 0 disables tracing entirely (the nil-tracer
+// fast path).
+func (s *server) initTrace(sampleEvery uint64, capacity int) {
+	if sampleEvery == 0 {
+		s.tracer, s.flight = nil, nil
+		return
+	}
+	s.flight = obsv.NewRecorder(capacity)
+	s.tracer = obsv.NewTracer(s.flight, obsv.TracerOptions{
+		Clock:       func() int64 { return s.clock() },
+		SampleEvery: sampleEvery,
+	})
 }
 
 // linkMeta resolves a link to its metro and peer-AS kind — the
@@ -352,8 +471,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/links", s.handleLinks)
 	mux.HandleFunc("GET /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/quality", s.handleQuality)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/bundle", s.handleBundle)
 	if s.pprofEnabled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -364,20 +485,76 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
+// statusWriter captures the response status code so the request span
+// can record it (and mark 5xx responses as errors).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handler wraps the mux with W3C traceparent propagation: an inbound
+// traceparent header parents the request's spans (StartRemote marks
+// where the trace entered this process), the response echoes the
+// current context so callers can stitch traces across hops, and the
+// finished request span — method, path, status — lands in the flight
+// recorder.
+func (s *server) handler() http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var sp *obsv.Span
+		if sc, ok := obsv.ExtractTraceparent(r.Header); ok {
+			sp = s.tracer.StartRemote(sc, r.URL.Path)
+		} else {
+			sp = s.tracer.StartRoot(r.URL.Path)
+		}
+		sp.SetStr("method", r.Method)
+		obsv.InjectTraceparent(w.Header(), sp.Context())
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r.WithContext(obsv.ContextWithSpan(r.Context(), sp)))
+		sp.SetInt("status", int64(sw.code))
+		if sw.code >= 500 {
+			sp.Error("server error")
+		}
+		sp.End()
+	})
+}
+
 // advanceDays simulates n more days of traffic into the record store.
 // The drained records double as ground truth: the aggregator streams
 // them to the monitor, which joins them against outstanding
 // predictions before the simulated clock advances past their hours.
 func (s *server) advanceDays(n int) {
+	s.advanceDaysTraced(n, nil)
+}
+
+// advanceDaysTraced is advanceDays under a parent span: "ingest"
+// covers the simulated run (the aggregator's own aggregate_batch /
+// drain / truth_join spans parent under the same trace), and
+// "truth_close" covers the monitor sealing the drained hours. A nil
+// parent (untraced callers, tests) runs the cycle with zero tracing
+// overhead.
+func (s *server) advanceDaysTraced(n int, parent *obsv.Span) {
 	s.mu.Lock()
 	from := s.simulated
 	s.mu.Unlock()
 	to := from + wan.Hour(n*24)
 	agg := pipeline.NewAggregatorOn(s.reg, s.sim.GeoIP(), s.sim.DstMetadata)
 	agg.SetTruthSink(s.mon)
+	agg.SetTrace(s.tracer, parent.Context())
+	isp := s.tracer.StartChild(parent, "ingest")
+	isp.SetInt("from_hour", int64(from))
+	isp.SetInt("to_hour", int64(to))
 	s.sim.Run(netsim.RunOptions{From: from, To: to, Sink: agg})
+	isp.End()
 	recs := agg.Records()
+	csp := s.tracer.StartChild(parent, "truth_close")
 	s.mon.AdvanceTo(to)
+	csp.End()
 	s.mu.Lock()
 	s.records = append(s.records, recs...)
 	s.simulated = to
@@ -390,6 +567,14 @@ func (s *server) advanceDays(n int) {
 // retrain rebuilds the serving ensemble from the sliding window —
 // the paper's daily retraining cadence — and checkpoints it.
 func (s *server) retrain() {
+	s.retrainTraced(nil)
+}
+
+// retrainTraced is retrain under a parent span: "retrain" wraps the
+// whole rebuild, "train" the model fitting, "shadow_predict" the
+// monitor's graded sample, and the checkpoint outcome lands as a span
+// event (success) or error status (failure).
+func (s *server) retrainTraced(parent *obsv.Span) {
 	s.mu.RLock()
 	recs := s.records
 	now := s.simulated
@@ -397,6 +582,8 @@ func (s *server) retrain() {
 	if len(recs) == 0 {
 		return
 	}
+	rsp := s.tracer.StartChild(parent, "retrain")
+	tsp := s.tracer.StartChild(rsp, "train")
 	hA := core.TrainHistorical(features.SetA, recs, core.DefaultHistOpts())
 	hAP := core.TrainHistorical(features.SetAP, recs, core.DefaultHistOpts())
 	hAL := core.TrainHistorical(features.SetAL, recs, core.DefaultHistOpts())
@@ -411,16 +598,26 @@ func (s *server) retrain() {
 	s.recovered = false
 	tuples := s.tuples
 	s.mu.Unlock()
+	tsp.SetInt("records", int64(len(recs)))
+	tsp.SetInt("tuples", int64(tuples))
+	tsp.End()
 	// The freshly trained model defines the new quality baseline (and
 	// disarms any post-withdrawal watch); shadow predictions from it
 	// are what next day's telemetry will be joined against.
 	s.mon.FreezeBaseline(now)
-	s.shadowPredict(now, recs)
+	ssp := s.tracer.StartChild(rsp, "shadow_predict")
+	s.shadowPredict(now, recs, ssp)
+	ssp.End()
 	s.logTrain.Info("retrained",
 		"hour", now, "records", len(recs), "tuples", tuples)
-	if err := s.saveCheckpoint(); err != nil {
+	switch err := s.saveCheckpoint(); {
+	case err != nil:
+		rsp.Error("checkpoint write failed")
 		s.logCkpt.Error("checkpoint failed", "err", err)
+	case s.checkpointPath != "":
+		rsp.Event("checkpoint_write")
 	}
+	rsp.End()
 }
 
 // shadowSampleCap bounds how many distinct flows each retrain grades.
@@ -431,14 +628,17 @@ const shadowSampleCap = 256
 // predictions even when no external client is querying. The sample
 // keeps the first sighting of each distinct flow in record order, so
 // same-seed runs grade the same flows.
-func (s *server) shadowPredict(now wan.Hour, recs []features.Record) {
+func (s *server) shadowPredict(now wan.Hour, recs []features.Record, parent *obsv.Span) {
 	seen := make(map[features.FlowFeatures]bool, shadowSampleCap)
 	for _, rec := range recs {
 		if seen[rec.Flow] {
 			continue
 		}
 		seen[rec.Flow] = true
-		preds, rung := s.ladder(core.Query{Flow: rec.Flow, K: 3}, false)
+		psp := s.tracer.StartChild(parent, "predict")
+		preds, rung := s.ladder(core.Query{Flow: rec.Flow, K: 3}, false, psp)
+		psp.SetStr("rung", rung)
+		psp.End()
 		s.mon.RecordPrediction(now, rec.Flow, rung, preds)
 		if len(seen) >= shadowSampleCap {
 			return
@@ -467,8 +667,11 @@ func (s *server) saveCheckpoint() error {
 // simulation clock at the checkpointed hour. The recovered model
 // serves immediately; the next retrain replaces it.
 func (s *server) recoverCheckpoint() error {
+	sp := s.tracer.StartRoot("checkpoint_recover")
+	defer sp.End()
 	ck, err := core.LoadCheckpointFile(s.checkpointPath)
 	if err != nil {
+		sp.Error("checkpoint load failed")
 		return err
 	}
 	var hA, hAP, hAL *core.Historical
@@ -483,6 +686,7 @@ func (s *server) recoverCheckpoint() error {
 		}
 	}
 	if hA == nil || hAP == nil || hAL == nil {
+		sp.Error("checkpoint incomplete")
 		return fmt.Errorf("checkpoint incomplete: %d models", len(ck.Models))
 	}
 	model := core.NewEnsemble(hAP, core.NewGeoCompletion(hAL, s.sim, s.metros), hA)
@@ -506,21 +710,23 @@ func (s *server) recoverCheckpoint() error {
 // and /metrics, and each attempted rung's latency lands in its
 // tipsyd_rung_*_ns histogram.
 func (s *server) predict(q core.Query) ([]core.Prediction, string) {
-	return s.ladder(q, true)
+	return s.ladder(q, true, nil)
 }
 
 // ladder is the fallback walk itself. count=false skips the serving
 // counters and latency histograms: monitor shadow samples grade model
-// quality and must not skew the client-facing serving metrics.
-func (s *server) ladder(q core.Query, count bool) ([]core.Prediction, string) {
+// quality and must not skew the client-facing serving metrics. A
+// non-nil sp collects a demote_* event for every rung that had a model
+// but produced nothing — the span-level record of a degraded answer.
+func (s *server) ladder(q core.Query, count bool, sp *obsv.Span) ([]core.Prediction, string) {
 	s.mu.RLock()
 	model, histA, geoFall := s.model, s.histA, s.geoFall
 	s.mu.RUnlock()
 	if model != nil {
-		start := time.Now()
+		start := s.clock()
 		preds := model.Predict(q)
 		if count {
-			s.met.rungEnsemble.Observe(time.Since(start).Nanoseconds())
+			s.met.rungEnsemble.Observe(s.clock() - start)
 		}
 		if len(preds) > 0 {
 			if count {
@@ -528,12 +734,13 @@ func (s *server) ladder(q core.Query, count bool) ([]core.Prediction, string) {
 			}
 			return preds, "ensemble"
 		}
+		sp.Event("demote_ensemble")
 	}
 	if histA != nil {
-		start := time.Now()
+		start := s.clock()
 		preds := histA.Predict(q)
 		if count {
-			s.met.rungHistorical.Observe(time.Since(start).Nanoseconds())
+			s.met.rungHistorical.Observe(s.clock() - start)
 		}
 		if len(preds) > 0 {
 			if count {
@@ -541,12 +748,13 @@ func (s *server) ladder(q core.Query, count bool) ([]core.Prediction, string) {
 			}
 			return preds, "historical"
 		}
+		sp.Event("demote_historical")
 	}
 	if geoFall != nil {
-		start := time.Now()
+		start := s.clock()
 		preds := geoFall.Predict(q)
 		if count {
-			s.met.rungGeo.Observe(time.Since(start).Nanoseconds())
+			s.met.rungGeo.Observe(s.clock() - start)
 		}
 		if len(preds) > 0 {
 			if count {
@@ -554,6 +762,7 @@ func (s *server) ladder(q core.Query, count bool) ([]core.Prediction, string) {
 			}
 			return preds, "geo"
 		}
+		sp.Event("demote_geo")
 	}
 	if count {
 		s.met.none.Inc()
@@ -737,11 +946,13 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		req.K = 3
 	}
 	s.met.requests.Inc()
-	// Trace the request's stages: feature encoding (address parsing,
-	// prefix derivation, Geo-IP joins) vs. prediction (the ensemble
-	// and its fallback ladder). Publishing feeds the per-stage latency
-	// histograms that /metrics exports.
-	tr := obsv.NewTrace()
+	// Trace the request's stages two ways: the stage tracer feeds the
+	// per-stage latency histograms /metrics exports, and real spans —
+	// parented under the request span handler() started — land in the
+	// flight recorder. Both run off s.clock so fake-clock tests golden.
+	tr := obsv.NewTraceClock(s.clock)
+	rsp := obsv.SpanFromContext(r.Context())
+	fsp := s.tracer.StartChild(rsp, "feature_encode")
 	excluded := make(map[wan.LinkID]bool, len(req.ExcludeLinks))
 	for _, l := range req.ExcludeLinks {
 		excluded[l] = true
@@ -750,6 +961,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, f := range req.Flows {
 		addr, err := parseIPv4(f.SrcAddr)
 		if err != nil {
+			fsp.Error("bad address")
+			fsp.End()
 			http.Error(w, fmt.Sprintf("flow %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
@@ -759,16 +972,19 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			Region: wan.Region(f.Region), Type: wan.ServiceType(f.Service),
 		}
 	}
+	fsp.SetInt("flows", int64(len(req.Flows)))
+	fsp.End()
 	tr.Mark("feature_encode")
 	s.mu.RLock()
 	now := s.simulated
 	s.mu.RUnlock()
 	resp := predictResponse{Shifted: make(map[wan.LinkID]float64)}
+	psp := s.tracer.StartChild(rsp, "predict")
 	for i, f := range req.Flows {
-		preds, rung := s.predict(core.Query{
+		preds, rung := s.ladder(core.Query{
 			Flow: flows[i], K: req.K,
 			Exclude: func(l wan.LinkID) bool { return excluded[l] },
-		})
+		}, true, psp)
 		// Feed the quality monitor — but only unconstrained queries:
 		// what-if queries that exclude links are answered against a
 		// counterfactual topology and would skew the joined accuracy.
@@ -796,6 +1012,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, result)
 	}
+	psp.SetInt("flows", int64(len(req.Flows)))
+	psp.End()
 	tr.Mark("predict")
 	tr.Publish(s.reg, "tipsyd_predict")
 	s.writeJSON(w, resp)
@@ -817,4 +1035,171 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		s.logHTTP.Error("write response", "err", err)
 	}
+}
+
+// handleMetrics samples the runtime bridge (GC pauses, heap,
+// goroutines, scheduler latency) and serves the registry's text
+// exposition, so every scrape carries fresh runtime gauges.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.rtb.Sample()
+	s.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleTrace dumps the flight recorder. ?trace=<32 hex digits>
+// filters to one trace; ?format=chrome emits Chrome trace_event JSON
+// loadable in about:tracing / Perfetto.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	var recs []obsv.SpanRecord
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, ok := obsv.ParseTraceID(q)
+		if !ok {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		recs = s.flight.TraceSpans(id)
+	} else {
+		recs = s.flight.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	var err error
+	if r.URL.Query().Get("format") == "chrome" {
+		err = obsv.WriteSpanTraceEvents(w, recs)
+	} else {
+		err = obsv.WriteSpansJSON(w, recs)
+	}
+	if err != nil {
+		s.logHTTP.Error("write trace dump", "err", err)
+	}
+}
+
+// handleBundle writes a diagnostic bundle on demand, verifies it the
+// way an operator's tooling would, and returns its path and manifest.
+func (s *server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	dir, err := s.writeBundle("manual")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	man, err := bundle.Verify(dir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bundle failed verification: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, map[string]any{"dir": dir, "manifest": man})
+}
+
+// onAlarm is the monitor's alarm hook: every transition into firing
+// snapshots a diagnostic bundle, so the spans, metrics, and logs that
+// led up to the incident are preserved even if the operator only
+// looks hours later.
+func (s *server) onAlarm(st monitor.AlarmStatus) {
+	if s.bundleDir == "" {
+		s.logBundle.Warn("alarm fired but bundles disabled", "alarm", st.Name)
+		return
+	}
+	if _, err := s.writeBundle("alarm-" + st.Name); err != nil {
+		s.logBundle.Error("bundle write failed", "alarm", st.Name, "err", err)
+	}
+}
+
+// writeBundle snapshots the daemon's diagnostic state into a new
+// bundle directory under s.bundleDir and returns its path. Writes are
+// serialized: concurrent alarms and manual requests queue rather than
+// interleave, and bundleSeq keeps names unique even under a frozen
+// fake clock.
+func (s *server) writeBundle(reason string) (string, error) {
+	if s.bundleDir == "" {
+		return "", errors.New("bundle directory disabled")
+	}
+	s.bundleMu.Lock()
+	defer s.bundleMu.Unlock()
+	s.bundleSeq++
+	now := s.clock()
+	// Snapshot the flight recorder and quality report once, up front,
+	// so every section of the bundle describes the same instant.
+	spans := s.flight.Snapshot()
+	quality := s.mon.Quality()
+	build := s.buildManifest()
+	writeIndented := func(v any) func(io.Writer) error {
+		return func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+	}
+	sections := []bundle.Section{
+		{Name: "metrics.prom", Write: func(w io.Writer) error {
+			s.rtb.Sample()
+			s.reg.WriteText(w)
+			return nil
+		}},
+		{Name: "quality.json", Write: writeIndented(quality)},
+		{Name: "spans.json", Write: func(w io.Writer) error {
+			return obsv.WriteSpansJSON(w, spans)
+		}},
+		{Name: "trace_events.json", Write: func(w io.Writer) error {
+			return obsv.WriteSpanTraceEvents(w, spans)
+		}},
+		{Name: "log_tail.txt", Write: func(w io.Writer) error {
+			_, err := w.Write(s.logRing.Tail())
+			return err
+		}},
+		{Name: "heap.pprof", Write: func(w io.Writer) error {
+			return rpprof.Lookup("heap").WriteTo(w, 0)
+		}},
+		{Name: "goroutine.pprof", Write: func(w io.Writer) error {
+			return rpprof.Lookup("goroutine").WriteTo(w, 0)
+		}},
+		{Name: "build.json", Write: writeIndented(build)},
+	}
+	name := fmt.Sprintf("bundle-%d-%04d-%s", now, s.bundleSeq, sanitizeReason(reason))
+	dir, err := bundle.Write(s.bundleDir, name, reason, now, build, sections)
+	if err != nil {
+		return "", err
+	}
+	s.met.bundles.Inc()
+	s.logBundle.Info("diagnostic bundle written", "dir", dir, "reason", reason)
+	return dir, nil
+}
+
+// buildManifest collects the build/config identity embedded in every
+// bundle (build.json and the manifest's build map) — enough to answer
+// "what exactly was running" from the bundle alone.
+func (s *server) buildManifest() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return map[string]string{
+		"go_version":      runtime.Version(),
+		"goos":            runtime.GOOS,
+		"goarch":          runtime.GOARCH,
+		"version":         buildVersion(),
+		"seed":            strconv.FormatInt(s.seed, 10),
+		"train_days":      strconv.Itoa(s.trainDays),
+		"simulated_hour":  strconv.FormatInt(int64(s.simulated), 10),
+		"trained_at_hour": strconv.FormatInt(int64(s.trainedAt), 10),
+		"checkpoint":      s.checkpointPath,
+	}
+}
+
+// sanitizeReason makes an alarm name safe as a path component:
+// lowercase alphanumerics, dash, and underscore, capped at 40 bytes.
+func sanitizeReason(reason string) string {
+	b := []byte(reason)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + 'a' - 'A'
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 40 {
+		b = b[:40]
+	}
+	return string(b)
 }

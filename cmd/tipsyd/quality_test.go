@@ -37,7 +37,7 @@ func withdrawTopPredicted(s *server) {
 			Loc:    s.sim.GeoIP().Lookup(f.SrcPrefix),
 			Region: f.DstRegion, Type: f.DstType,
 		}
-		preds, _ := s.ladder(core.Query{Flow: ff, K: 3}, false)
+		preds, _ := s.ladder(core.Query{Flow: ff, K: 3}, false, nil)
 		for j, p := range preds {
 			if j >= 2 {
 				break // leave each flow an ingress path

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFramedRoundTrip(t *testing.T) {
+	payload := []byte(`{"version":1,"entries":[]}`)
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, BundleManifestMagic, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFramed(bytes.NewReader(buf.Bytes()), BundleManifestMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+}
+
+func TestFramedRejectsCorruption(t *testing.T) {
+	payload := []byte("hello framed world")
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, BundleManifestMagic, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := ReadFramed(bytes.NewReader(flipped), BundleManifestMagic); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("corrupt payload: err %v, want ErrCorruptSnapshot", err)
+	}
+
+	// Wrong magic: refused before any payload read.
+	if _, err := ReadFramed(bytes.NewReader(raw), checkpointMagic); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("wrong magic: err %v, want ErrBadSnapshot", err)
+	}
+
+	// Truncated frame.
+	if _, err := ReadFramed(bytes.NewReader(raw[:len(raw)-3]), BundleManifestMagic); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestFramedMagicLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFramed(&buf, "short", nil); err == nil {
+		t.Fatal("short magic accepted on write")
+	}
+	if _, err := ReadFramed(&buf, "toolongmagicvalue"); err == nil {
+		t.Fatal("long magic accepted on read")
+	}
+}

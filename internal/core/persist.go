@@ -35,6 +35,32 @@ const (
 	maxSnapshotBytes = 1 << 32 // sanity cap against garbage length fields
 )
 
+// BundleManifestMagic frames diagnostic-bundle manifests (see
+// internal/bundle), exported alongside WriteFramed/ReadFramed so the
+// bundle writer reuses this file's framing and checksum discipline
+// rather than inventing a second format.
+const BundleManifestMagic = "TIPSYBN1"
+
+// WriteFramed writes payload under this package's snapshot framing:
+// the 8-byte magic, the payload length, and a CRC-32 of the payload,
+// followed by the payload itself.
+func WriteFramed(w io.Writer, magic string, payload []byte) error {
+	if len(magic) != 8 {
+		return fmt.Errorf("core: frame magic must be 8 bytes, got %d", len(magic))
+	}
+	return writeFrame(w, magic, payload)
+}
+
+// ReadFramed reads a frame written by WriteFramed, verifying magic,
+// length, and checksum; errors wrap ErrBadSnapshot (wrong magic) or
+// ErrCorruptSnapshot (truncation, checksum mismatch).
+func ReadFramed(r io.Reader, magic string) ([]byte, error) {
+	if len(magic) != 8 {
+		return nil, fmt.Errorf("core: frame magic must be 8 bytes, got %d", len(magic))
+	}
+	return readFrame(r, magic)
+}
+
 func writeFrame(w io.Writer, magic string, payload []byte) error {
 	hdr := make([]byte, 0, frameHeaderLen)
 	hdr = append(hdr, magic...)

@@ -154,6 +154,15 @@ func RulesWithBudget(budgetPath string) []Rule {
 			Check:     checkSlog,
 		},
 		{
+			Name: "walltime",
+			Doc:  "forbid direct time.Now/time.Since in clock-injected packages; timestamps come through the injected clock, and //tipsy:clocksource marks the sanctioned wall-clock entry points",
+			Dirs: []string{
+				"cmd/tipsyd", "internal/obsv", "internal/monitor", "internal/pipeline",
+			},
+			SkipTests: true,
+			Check:     checkWalltime,
+		},
+		{
 			Name:      "maporder",
 			Doc:       "flag map iterations whose order can reach a slice, writer, encoder, or return value unsorted in deterministic-scope packages",
 			Dirs:      simDirs,

@@ -166,6 +166,10 @@ func (c *collector) inc() { c.recordCount++ }
 import "log"
 func f() { log.Printf("hello") }
 `, "legacy log.Printf"},
+		{"walltime", `package p
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+`, "time.Now in clock-injected code"},
 		{"maporder", `package p
 func f(m map[string]int) []string {
 	var out []string

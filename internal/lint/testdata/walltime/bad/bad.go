@@ -1,0 +1,24 @@
+// Package bad times its work straight off the wall clock instead of
+// the owner's injected clock source.
+package bad
+
+import "time"
+
+type server struct {
+	clock  func() int64
+	lastNs int64
+}
+
+// observe stamps a latency with the ambient clock — undumpable under
+// a fake clock, so golden trace tests can never cover it.
+func (s *server) observe() int64 {
+	start := time.Now()
+	s.lastNs = time.Since(start).Nanoseconds()
+	return time.Now().UnixNano()
+}
+
+// stamp hides the violation inside a closure; the directive-less
+// enclosing function is still on the hook.
+func stamp() func() int64 {
+	return func() int64 { return time.Now().UnixNano() }
+}

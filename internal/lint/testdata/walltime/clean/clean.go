@@ -1,0 +1,21 @@
+// Package clean reads every timestamp through an injected clock; the
+// single wall-clock entry point is a declared clock source.
+package clean
+
+import "time"
+
+type server struct {
+	clock func() int64
+}
+
+// realClock is the production clock behind server.clock.
+//
+//tipsy:clocksource
+func realClock() int64 { return time.Now().UnixNano() }
+
+func newServer() *server { return &server{clock: realClock} }
+
+func (s *server) observe() int64 {
+	start := s.clock()
+	return s.clock() - start
+}

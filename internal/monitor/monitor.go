@@ -61,6 +61,12 @@ type Config struct {
 	// LinkMeta, when set, resolves a link to its landing metro and
 	// peer kind for the per-slice windows. Nil disables those slices.
 	LinkMeta func(wan.LinkID) (geo.MetroID, string)
+	// OnAlarm, when set, is invoked once per alarm transition into the
+	// firing state, from the AdvanceTo caller's goroutine after the
+	// monitor's lock is released — so the hook may call Quality,
+	// AlarmFiring, or anything else on the monitor. tipsyd uses it to
+	// write diagnostic bundles.
+	OnAlarm func(AlarmStatus)
 }
 
 // DefaultConfig returns thresholds calibrated for the small simulated
@@ -161,6 +167,9 @@ type Monitor struct {
 
 	alarmList []*alarm
 	alarmByN  map[string]*alarm
+	// fired queues newly-firing alarm statuses under mu; AdvanceTo
+	// drains it to cfg.OnAlarm after unlocking.
+	fired []AlarmStatus
 }
 
 // New builds a monitor publishing its gauges and counters on reg.
@@ -258,9 +267,18 @@ func (m *Monitor) ObserveTruth(rec features.Record) {
 // once per closed hour.
 func (m *Monitor) AdvanceTo(h wan.Hour) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for ; m.head < h; m.head++ {
 		m.closeHour(m.head)
+	}
+	fired := m.fired
+	m.fired = nil
+	m.mu.Unlock()
+	// Deliver hook calls outside the lock: the hook is free to read
+	// the monitor back (Quality locks m.mu).
+	if m.cfg.OnAlarm != nil {
+		for _, st := range fired {
+			m.cfg.OnAlarm(st)
+		}
 	}
 }
 
@@ -372,6 +390,9 @@ func (m *Monitor) evaluateAlarms(h wan.Hour, cur totals, drift float64) {
 func (m *Monitor) observe(a *alarm, h wan.Hour, breached bool, reason string) {
 	if a.observe(h, breached, reason) {
 		m.met.transitions.Inc()
+		if a.firing && m.cfg.OnAlarm != nil {
+			m.fired = append(m.fired, a.status())
+		}
 	}
 	v := int64(0)
 	if a.firing {

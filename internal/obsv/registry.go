@@ -95,6 +95,18 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveN records n observations of the same value in one shot —
+// how the runtime/metrics bridge replays bucket-count deltas without
+// n separate atomic round trips.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * int64(n))
+}
+
 // Count returns how many observations the histogram holds.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -130,6 +142,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	infos      map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -138,6 +151,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		infos:      make(map[string]string),
 	}
 }
 
@@ -212,6 +226,28 @@ func (r *Registry) checkFreeLocked(name, kind string) {
 	if _, ok := r.histograms[name]; ok {
 		panic(fmt.Sprintf("obsv: %q already registered as a histogram, requested as %s", name, kind))
 	}
+	// Concatenation, not Sprintf: this function sits in the hot-path
+	// closure (via Registry.Histogram) and Sprintf args would grow the
+	// allocation budget's boxing count.
+	if _, ok := r.infos[name]; ok {
+		panic("obsv: " + name + " already registered as an info, requested as " + kind)
+	}
+}
+
+// SetInfo registers a build-info-style metric: a constant-1 gauge
+// whose payload is its label string (e.g. `version="v3",seed="17"`),
+// the Prometheus idiom for exposing versions on /metrics. Infos
+// appear only in the text exposition — Snapshot and Scalars exclude
+// them, so label churn (toolchain upgrades) never shows up in
+// tipsybench's deterministic metric comparison. Re-setting an info
+// replaces its labels.
+func (r *Registry) SetInfo(name, labels string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.infos[name]; !ok {
+		r.checkFreeLocked(name, "info")
+	}
+	r.infos[name] = labels
 }
 
 // NamedValue is one scalar metric in a snapshot.
@@ -281,6 +317,16 @@ func (r *Registry) WriteText(w io.Writer) {
 	for _, g := range s.Gauges {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value)
 	}
+	r.mu.RLock()
+	infoNames := make([]string, 0, len(r.infos))
+	for name := range r.infos {
+		infoNames = append(infoNames, name)
+	}
+	sort.Strings(infoNames)
+	for _, name := range infoNames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", name, name, r.infos[name])
+	}
+	r.mu.RUnlock()
 	for _, nh := range s.Histograms {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", nh.Name)
 		lo, hi := 0, HistBuckets

@@ -1,0 +1,70 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// spanJSON is the dump form of one SpanRecord: hex IDs matching the
+// traceparent wire format, attributes as a JSON object (encoding/json
+// sorts the keys, so dumps of deterministic runs are byte-stable).
+type spanJSON struct {
+	Trace   string          `json:"trace"`
+	Span    string          `json:"span"`
+	Parent  string          `json:"parent,omitempty"`
+	Name    string          `json:"name"`
+	Remote  bool            `json:"remote,omitempty"`
+	StartNs int64           `json:"start_ns"`
+	DurNs   int64           `json:"dur_ns"`
+	Status  string          `json:"status"`
+	Note    string          `json:"note,omitempty"`
+	Dropped uint8           `json:"dropped,omitempty"`
+	Attrs   map[string]any  `json:"attrs,omitempty"`
+	Events  []spanEventJSON `json:"events,omitempty"`
+}
+
+type spanEventJSON struct {
+	Name string `json:"name"`
+	AtNs int64  `json:"at_ns"`
+}
+
+// WriteSpansJSON renders records (typically a Recorder snapshot) as
+// indented JSON — the goldenable flight-recorder dump format served
+// by /debug/trace and written into diagnostic bundles.
+func WriteSpansJSON(w io.Writer, recs []SpanRecord) error {
+	out := make([]spanJSON, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		sj := spanJSON{
+			Trace:   rec.Trace.String(),
+			Span:    rec.ID.String(),
+			Name:    rec.Name,
+			Remote:  rec.Remote,
+			StartNs: rec.Start,
+			DurNs:   rec.End - rec.Start,
+			Status:  rec.Status.String(),
+			Note:    rec.Note,
+			Dropped: rec.Dropped,
+		}
+		if rec.Parent != 0 {
+			sj.Parent = rec.Parent.String()
+		}
+		if rec.NAttrs > 0 {
+			sj.Attrs = make(map[string]any, rec.NAttrs)
+			for _, a := range rec.Attrs[:rec.NAttrs] {
+				if a.IsStr {
+					sj.Attrs[a.Key] = a.Str
+				} else {
+					sj.Attrs[a.Key] = a.Int
+				}
+			}
+		}
+		for _, e := range rec.Events[:rec.NEvents] {
+			sj.Events = append(sj.Events, spanEventJSON{Name: e.Name, AtNs: e.At})
+		}
+		out[i] = sj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -6,8 +6,11 @@ import (
 	"time"
 )
 
-// Span is one completed stage of a trace.
-type Span struct {
+// StageSpan is one completed stage of a Trace. (The full span model —
+// trace/span IDs, parent links, attributes — lives in span.go; a
+// StageSpan is just a named duration on the single-request stage
+// tracer below.)
+type StageSpan struct {
 	Stage string
 	Ns    int64
 }
@@ -23,10 +26,14 @@ type Trace struct {
 	clock func() int64 // monotonic-enough nanosecond clock
 	start int64
 	last  int64
-	spans []Span
+	spans []StageSpan
 }
 
-// NewTrace starts a trace on the wall clock.
+// NewTrace starts a trace on the wall clock. Callers that own an
+// injected clock (tipsyd does) should prefer NewTraceClock so every
+// timestamp in the process comes from one swappable source.
+//
+//tipsy:clocksource
 func NewTrace() *Trace {
 	return NewTraceClock(func() int64 { return time.Now().UnixNano() })
 }
@@ -42,12 +49,12 @@ func NewTraceClock(clock func() int64) *Trace {
 // contiguous: the next stage starts where this one ended.
 func (t *Trace) Mark(stage string) {
 	now := t.clock()
-	t.spans = append(t.spans, Span{Stage: stage, Ns: now - t.last})
+	t.spans = append(t.spans, StageSpan{Stage: stage, Ns: now - t.last})
 	t.last = now
 }
 
 // Spans returns the completed stages in order.
-func (t *Trace) Spans() []Span { return t.spans }
+func (t *Trace) Spans() []StageSpan { return t.spans }
 
 // TotalNs returns the time from trace start to the last mark.
 func (t *Trace) TotalNs() int64 { return t.last - t.start }

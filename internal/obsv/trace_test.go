@@ -22,7 +22,7 @@ func TestTraceStages(t *testing.T) {
 	tr.Mark("fallback")
 
 	spans := tr.Spans()
-	want := []Span{{"feature_encode", 50}, {"ensemble", 200}, {"fallback", 30}}
+	want := []StageSpan{{"feature_encode", 50}, {"ensemble", 200}, {"fallback", 30}}
 	if len(spans) != len(want) {
 		t.Fatalf("got %d spans, want %d", len(spans), len(want))
 	}

@@ -135,6 +135,13 @@ type Aggregator struct {
 
 	truthMu sync.Mutex
 	truth   TruthSink
+
+	// tracer + traceCtx attach the aggregator's spans (aggregate_batch,
+	// drain, truth_join) to the ingest cycle's trace. Set via SetTrace
+	// before ingest begins; the nil tracer / zero context default
+	// disables span emission at the cost of one nil check per batch.
+	tracer   *obsv.Tracer
+	traceCtx obsv.SpanContext
 }
 
 // NewAggregator builds an aggregator joining against the given Geo-IP
@@ -200,6 +207,7 @@ func (a *Aggregator) RecordBatch(recs []ipfix.FlowRecord) {
 	if len(recs) == 0 {
 		return
 	}
+	sp := a.tracer.StartFrom(a.traceCtx, "aggregate_batch")
 	a.m.raw.Add(uint64(len(recs)))
 	sc := scratchPool.Get().(*batchScratch)
 	for i := range recs {
@@ -221,6 +229,8 @@ func (a *Aggregator) RecordBatch(recs []ipfix.FlowRecord) {
 		sc.idx[si] = idx[:0]
 	}
 	scratchPool.Put(sc)
+	sp.SetInt("records", int64(len(recs)))
+	sp.End()
 }
 
 // applyLocked joins and accumulates one record into shard s. The
@@ -294,6 +304,14 @@ func (a *Aggregator) SetTruthSink(ts TruthSink) {
 	a.truthMu.Unlock()
 }
 
+// SetTrace attaches the aggregator's spans to the given trace
+// context. Call before ingest begins; a nil tracer or zero context
+// disables tracing entirely.
+func (a *Aggregator) SetTrace(t *obsv.Tracer, sc obsv.SpanContext) {
+	a.tracer = t
+	a.traceCtx = sc
+}
+
 // Records drains the aggregator, returning the hourly feature records
 // in deterministic order (hour, then feature tuple, then link). All
 // shard locks are held together — in shard order, so lock acquisition
@@ -303,6 +321,7 @@ func (a *Aggregator) SetTruthSink(ts TruthSink) {
 // aggregator's. When a truth sink is registered, the drained records
 // are also streamed to it in the same order.
 func (a *Aggregator) Records() []features.Record {
+	sp := a.tracer.StartFrom(a.traceCtx, "drain")
 	var hours [aggShards]map[wan.Hour]map[uint64]float64
 	var feats [aggShards][]features.FlowFeatures
 	for i := range a.shards {
@@ -406,10 +425,15 @@ func (a *Aggregator) Records() []features.Record {
 	truth := a.truth
 	a.truthMu.Unlock()
 	if truth != nil {
+		tj := a.tracer.StartChild(sp, "truth_join")
 		for i := range out {
 			truth.ObserveTruth(out[i])
 		}
+		tj.SetInt("records", int64(len(out)))
+		tj.End()
 	}
+	sp.SetInt("records", int64(len(out)))
+	sp.End()
 	return out
 }
 

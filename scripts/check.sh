@@ -7,8 +7,9 @@
 # the allocation-budget ratchet gate (regenerating the budget must
 # reproduce the committed .tipsy-allocbudget.json byte for byte), the
 # test suite under the race detector with a total-coverage floor, a
-# 15s fuzz pass per protocol decoder, the tipsybench quick cycle, and
-# the chaos soak. Everything is stdlib Go; no network access is
+# 15s fuzz pass per protocol decoder, the diagnostic-bundle round
+# trip (alarm fires -> bundle written -> CRC-verified), the tipsybench
+# quick cycle, and the chaos soak. Everything is stdlib Go; no network access is
 # needed.
 #
 # Usage: scripts/check.sh [-short]
@@ -92,6 +93,9 @@ go test -fuzz=FuzzBMPDecode -fuzztime=15s -run '^$' ./internal/bmp
 echo "==> differential decode (compiled path vs reference)"
 go test -run 'TestDifferentialDecode|TestDifferentialDecodeFuzzCorpus|TestDifferentialCollectorBatch' \
     -count=1 ./internal/ipfix
+
+echo "==> diagnostic bundle round trip (alarm -> bundle -> CRC verify)"
+go test -run 'TestBundleAlarmRoundTrip|TestBundleEndpoint' -count=1 ./cmd/tipsyd
 
 echo "==> tipsybench -quick (twice: second run compared against first)"
 benchout=$(mktemp -d)
