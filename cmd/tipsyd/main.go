@@ -161,18 +161,30 @@ type server struct {
 
 	// bundleMu serializes bundle writes; bundleSeq makes names unique
 	// even under a frozen fake clock.
-	bundleMu  sync.Mutex
+	bundleMu sync.Mutex
+	//tipsy:guardedby bundleMu
 	bundleSeq uint64
 
-	mu        sync.RWMutex
-	model     core.Predictor   // rung 1: the trained ensemble
-	histA     *core.Historical // rung 2: coarse source-AS model
-	geoFall   *core.GeoNearest // rung 3: training-free geographic guess
-	hAP, hAL  *core.Historical // retained for checkpointing
-	records   []features.Record
+	mu sync.RWMutex
+	//tipsy:guardedby mu
+	model core.Predictor // rung 1: the trained ensemble
+	//tipsy:guardedby mu
+	histA *core.Historical // rung 2: coarse source-AS model
+	//tipsy:guardedby mu
+	geoFall *core.GeoNearest // rung 3: training-free geographic guess
+	//tipsy:guardedby mu
+	hAP *core.Historical // retained for checkpointing
+	//tipsy:guardedby mu
+	hAL *core.Historical
+	//tipsy:guardedby mu
+	records []features.Record
+	//tipsy:guardedby mu
 	simulated wan.Hour
+	//tipsy:guardedby mu
 	trainedAt wan.Hour
-	tuples    int
+	//tipsy:guardedby mu
+	tuples int
+	//tipsy:guardedby mu
 	recovered bool // serving models recovered from a checkpoint
 }
 
@@ -221,8 +233,11 @@ func main() {
 	if s.checkpointPath != "" {
 		switch err := s.recoverCheckpoint(); {
 		case err == nil:
+			s.mu.RLock()
+			trainedAt := s.trainedAt
+			s.mu.RUnlock()
 			s.logCkpt.Info("recovered checkpoint",
-				"path", s.checkpointPath, "trained_at_hour", s.trainedAt)
+				"path", s.checkpointPath, "trained_at_hour", trainedAt)
 		case os.IsNotExist(err):
 			s.logCkpt.Info("no checkpoint; starting cold", "path", s.checkpointPath)
 		default:
@@ -231,7 +246,10 @@ func main() {
 		}
 	}
 
-	if s.recovered {
+	s.mu.RLock()
+	recovered := s.recovered
+	s.mu.RUnlock()
+	if recovered {
 		// The recovered models serve immediately; the retrain loop
 		// refills the sliding window as simulated days pass.
 		s.logMain.Info("serving from recovered checkpoint; skipping bootstrap")

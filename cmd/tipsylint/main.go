@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tipsylint [-json|-sarif] [-suppressions] [-rules determinism,locks,...] ./...
+//	tipsylint [-json|-sarif] [-suppressions] [-stats] [-rules determinism,locks,...] ./...
 //	tipsylint -update-budget [-budget file] ./...
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
@@ -51,12 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suppressions := fs.Bool("suppressions", false,
 		"list //lint:ignore directives instead of linting; exit 1 on any reasonless directive")
 	ruleList := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	stats := fs.Bool("stats", false,
+		"print per-rule wall time to stderr after the run")
 	budgetPath := fs.String("budget", "",
 		"hot-path allocation budget file (default: <module root>/"+lint.BudgetFilename+")")
 	updateBudget := fs.Bool("update-budget", false,
 		"rewrite the allocation budget file to match the tree instead of linting")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tipsylint [-json|-sarif] [-suppressions] [-rules list] [-update-budget] packages...")
+		fmt.Fprintln(stderr, "usage: tipsylint [-json|-sarif] [-suppressions] [-stats] [-rules list] [-update-budget] packages...")
 		fs.PrintDefaults()
 		fmt.Fprintln(stderr, "\nrules:")
 		for _, r := range lint.Rules() {
@@ -163,7 +165,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	diags := lint.Run(pkgs, rules)
+	diags, ruleStats := lint.RunStats(pkgs, rules)
+	if *stats {
+		// Stats go to stderr so -json/-sarif payloads on stdout stay
+		// machine-parseable.
+		fmt.Fprintln(stderr, "rule timings:")
+		for _, s := range ruleStats {
+			fmt.Fprintf(stderr, "  %-14s %10.2fms\n", s.Name,
+				float64(s.Elapsed.Microseconds())/1000)
+		}
+	}
 	if hotpathSelected {
 		// Budget drift with no source anchor (stale or shrunk entries)
 		// is reported against the budget file itself.

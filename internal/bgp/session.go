@@ -22,10 +22,13 @@ type Session struct {
 	localID  uint32
 	holdTime uint16
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//tipsy:guardedby mu
 	peerOpen *Open
-	state    SessionState
-	closed   bool
+	//tipsy:guardedby mu
+	state SessionState
+	//tipsy:guardedby mu
+	closed bool
 }
 
 // SessionState is the subset of RFC 4271 §8 states the speaker moves
@@ -72,9 +75,9 @@ func NewSession(conn net.Conn, localAS ASN, localID uint32, holdTime uint16) *Se
 // session to Established.
 func (s *Session) Establish() error {
 	s.mu.Lock()
-	if s.state != StateIdle {
+	if st := s.state; st != StateIdle {
 		s.mu.Unlock()
-		return fmt.Errorf("bgp: establish from state %v", s.state)
+		return fmt.Errorf("bgp: establish from state %v", st)
 	}
 	s.state = StateOpenSent
 	s.mu.Unlock()

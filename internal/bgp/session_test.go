@@ -3,6 +3,7 @@ package bgp
 import (
 	"net"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -168,5 +169,43 @@ func TestSessionOverTCP(t *testing.T) {
 	}
 	if !reflect.DeepEqual(r.upd, want) {
 		t.Errorf("TCP update mismatch: %+v", r.upd)
+	}
+}
+
+// TestSessionEstablishStateRace polls State() on both ends while the
+// handshake runs, then re-establishes: Establish once read s.state
+// for its error message after dropping the lock, and this pins the
+// locked re-read under the race detector.
+func TestSessionEstablishStateRace(t *testing.T) {
+	a, b := net.Pipe()
+	sa := NewSession(a, 64500, 1, 90)
+	sb := NewSession(b, 64496, 2, 90)
+	stop := make(chan struct{})
+	aux := make(chan struct{})
+	go func() {
+		defer close(aux)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sa.State()
+				_ = sb.State()
+			}
+		}
+	}()
+	errc := make(chan error, 2)
+	go func() { errc <- sa.Establish() }()
+	go func() { errc <- sb.Establish() }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("establish: %v", err)
+		}
+	}
+	close(stop)
+	<-aux
+	err := sa.Establish()
+	if err == nil || !strings.Contains(err.Error(), "establish from state established") {
+		t.Fatalf("re-establish error = %v, want 'establish from state established'", err)
 	}
 }

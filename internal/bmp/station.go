@@ -51,8 +51,10 @@ func newStationMetrics(reg *obsv.Registry) stationMetrics {
 // on each monitored session. This is the data-lake view the paper's
 // "BMP data listeners" provide for topology analysis.
 type Station struct {
-	mu       sync.Mutex
-	routers  map[uint32]string // router id -> sysname
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	routers map[uint32]string // router id -> sysname
+	//tipsy:guardedby mu
 	sessions map[SessionKey]*sessionState
 	m        stationMetrics
 }

@@ -93,11 +93,16 @@ type Link struct {
 	cfg     Config
 	deliver func([]byte)
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	slot  uint64 // messages offered so far
-	seq   uint64 // admission counter for stable hold ordering
-	held  []held
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	rng *rand.Rand
+	//tipsy:guardedby mu
+	slot uint64 // messages offered so far
+	//tipsy:guardedby mu
+	seq uint64 // admission counter for stable hold ordering
+	//tipsy:guardedby mu
+	held []held
+	//tipsy:guardedby mu
 	stats Stats
 }
 

@@ -100,11 +100,16 @@ type Event struct {
 // CMS is the mitigation engine. Feed it flow records during each hour
 // (it is a netsim.RecordSink) and call Step at hour end.
 type CMS struct {
-	cfg   Config
-	net   Network
+	//tipsy:nolock set in New and read-only afterwards
+	cfg Config
+	//tipsy:nolock set in New and read-only afterwards
+	net Network
+	//tipsy:nolock set in New and read-only afterwards
 	tipsy core.Predictor
+	//tipsy:nolock set in New and read-only afterwards
 	geoip *geo.GeoIP
-	meta  func(uint32) (wan.Region, wan.ServiceType, bool)
+	//tipsy:nolock set in New and read-only afterwards
+	meta func(uint32) (wan.Region, wan.ServiceType, bool)
 
 	mu sync.Mutex
 	// traffic[link][prefixIdx][flow] = bytes in the current hour

@@ -2,6 +2,7 @@ package geo
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -181,5 +182,37 @@ func TestGeoIPOneLocationPerPrefix(t *testing.T) {
 	}
 	if g.Len() != 1 {
 		t.Errorf("still one entry expected, got %d", g.Len())
+	}
+}
+
+// TestGeoIPConcurrentRegisterLookup exercises the entries map from
+// concurrent writers and readers, including a rebuild via
+// NewGeoIPFromEntries (whose copy loop once wrote the map without the
+// lock): the guardedby lint pins the discipline statically, this pins
+// it under the race detector.
+func TestGeoIPConcurrentRegisterLookup(t *testing.T) {
+	db := World()
+	g := NewGeoIP(db, 0, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				g.Register(uint32(w<<16|i)<<8, MetroID(1+(i%db.Len())))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		_ = g.Lookup(uint32(i) << 8)
+		_ = g.Len()
+	}
+	wg.Wait()
+	rebuilt := NewGeoIPFromEntries(db, g.Entries())
+	if rebuilt.Len() != g.Len() {
+		t.Fatalf("rebuilt Len = %d, want %d", rebuilt.Len(), g.Len())
+	}
+	if got, want := rebuilt.Lookup(uint32(1)<<8), g.Lookup(uint32(1)<<8); got != want {
+		t.Fatalf("rebuilt Lookup = %v, want %v", got, want)
 	}
 }

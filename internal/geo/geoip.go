@@ -16,7 +16,8 @@ type GeoIP struct {
 	errRate float64
 	rng     *rand.Rand
 
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//tipsy:guardedby mu
 	entries map[uint32]MetroID // /24 base address -> reported metro
 }
 
@@ -112,6 +113,8 @@ func (g *GeoIP) Entries() map[uint32]MetroID {
 // error process is disabled since entries are already final.
 func NewGeoIPFromEntries(db *DB, entries map[uint32]MetroID) *GeoIP {
 	g := NewGeoIP(db, 0, 0)
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for k, v := range entries {
 		g.entries[k] = v
 	}

@@ -103,18 +103,22 @@ func newCollectorMetrics(reg *obsv.Registry) collectorMetrics {
 // template are buffered and replayed when the template arrives, and
 // reordered messages are distinguished from genuine loss.
 type Collector struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//tipsy:guardedby mu
 	domains map[uint32]*domainState
 	m       collectorMetrics
 	// batch accumulates the flow records of the message being handled
 	// (direct and replayed), reused across messages under mu. Handing
 	// the whole slice to a batch consumer amortizes downstream lock
 	// traffic over the ~64 records a message carries.
+	//tipsy:guardedby mu
 	batch []FlowRecord
 	// tracer + traceCtx attach incident marks (quarantine, template
 	// buffering) to the ingest trace. Nil tracer / zero context — the
 	// default — emits nothing.
-	tracer   *obsv.Tracer
+	//tipsy:nolock set via SetTrace before ingest begins, constant after
+	tracer *obsv.Tracer
+	//tipsy:nolock set via SetTrace before ingest begins, constant after
 	traceCtx obsv.SpanContext
 }
 
@@ -509,9 +513,11 @@ func (c *Collector) Stats() CollectorStats {
 // are often missed entirely — exactly the bias the paper accepts
 // because TIPSY's use cases concern large traffic volumes.
 type Sampler struct {
+	//tipsy:nolock configured before use and never written afterwards
 	Interval uint32 // e.g. 4096 for 1-out-of-4096
-	rng      *rand.Rand
-	mu       sync.Mutex
+	//tipsy:guardedby mu
+	rng *rand.Rand
+	mu  sync.Mutex
 }
 
 // NewSampler creates a sampler with the given interval; interval <= 1

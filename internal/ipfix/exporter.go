@@ -26,12 +26,17 @@ type Exporter struct {
 	domain   uint32
 	template Template
 
-	mu             sync.Mutex
-	seq            uint32
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	seq uint32
+	//tipsy:guardedby mu
 	msgsSinceStart int
-	pending        [][]byte
-	pendLen        int
-	tmplLen        int // wire size of the template set, for budgeting
+	//tipsy:guardedby mu
+	pending [][]byte
+	//tipsy:guardedby mu
+	pendLen int
+	//tipsy:guardedby mu
+	tmplLen int // wire size of the template set, for budgeting
 }
 
 // NewExporter creates an exporter for the given observation domain

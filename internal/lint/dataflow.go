@@ -164,6 +164,19 @@ type funcLitTagger interface {
 	FuncLitTags(lit *ast.FuncLit) tagSet
 }
 
+// compositeLitTagger is the analogous extension for composite
+// literals: hooks implementing it assign provenance to the literal
+// value itself. A non-nil result replaces the tags the elements would
+// contribute — the hook is asserting the literal's identity, and a
+// tagged value stored inside a fresh struct says nothing about the
+// struct itself. A nil result falls through to the element union. The
+// guardedby tier uses it to tag freshly allocated guarded structs, so
+// field stores in constructor bodies are recognizable as
+// pre-publication initialization.
+type compositeLitTagger interface {
+	CompositeLitTags(lit *ast.CompositeLit) tagSet
+}
+
 // provenance runs the engine over one declared function and then
 // replays the statements in CFG order, calling visit with the
 // environment in force immediately BEFORE each statement executes.
@@ -520,6 +533,14 @@ func (pv *provenance) eval(expr ast.Expr, e env) tagSet {
 	case *ast.TypeAssertExpr:
 		return pv.eval(x.X, e)
 	case *ast.CompositeLit:
+		if ct, ok := pv.hooks.(compositeLitTagger); ok {
+			if tags := ct.CompositeLitTags(x); tags != nil {
+				// The hook asserts the literal's own identity; element
+				// provenance does not dilute it (a parameter stored in
+				// a fresh struct does not make the struct shared).
+				return tags
+			}
+		}
 		var parts []tagSet
 		for _, el := range x.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding.
@@ -176,6 +177,12 @@ func RulesWithBudget(budgetPath string) []Rule {
 			DeepCheck: checkDeadlock,
 		},
 		{
+			Name:      "guardedby",
+			Doc:       "infer which mutex guards each struct field from the majority of CFG-proven locked accesses (or a //tipsy:guardedby pin) and flag the unguarded minority, RLock-writes, and escaping-closure accesses",
+			SkipTests: true,
+			DeepCheck: checkGuardedBy,
+		},
+		{
 			Name:            "seedflow",
 			Doc:             "require rand seeds to trace to a config field or parameter, never wall clock, entropy, or process identity — even through helpers",
 			Dirs:            simDirs,
@@ -205,11 +212,32 @@ func (r Rule) appliesTo(p *Package) bool {
 	return false
 }
 
+// RuleStat records how long one analysis stage spent. SubstrateStat
+// names the deep tier's shared Program construction (call graph +
+// package index), which no single rule owns.
+type RuleStat struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// SubstrateStat is the RuleStat name for building the deep-tier
+// Program.
+const SubstrateStat = "(substrate)"
+
 // Run applies the rules to the packages, honouring per-rule scoping
 // and //lint:ignore suppressions, and returns findings sorted by
 // position. Syntactic rules walk each package independently; deep
 // rules run once over a Program built from the full package set.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	diags, _ := RunStats(pkgs, rules)
+	return diags
+}
+
+// RunStats is Run, additionally reporting wall time per rule (summed
+// over packages for syntactic rules) plus a SubstrateStat entry for
+// the deep tier's shared Program build. Stats follow registry order.
+func RunStats(pkgs []*Package, rules []Rule) ([]Diagnostic, []RuleStat) {
+	elapsed := map[string]time.Duration{}
 	var diags []Diagnostic
 	for _, p := range pkgs {
 		ignores := collectIgnores(p)
@@ -221,6 +249,7 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 			if !inScope && !r.TestsEverywhere {
 				continue
 			}
+			start := time.Now()
 			r.Check(p, func(pos token.Pos, format string, args ...any) {
 				position := p.Fset.Position(pos)
 				isTest := strings.HasSuffix(position.Filename, "_test.go")
@@ -239,11 +268,21 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 					Message: fmt.Sprintf(format, args...),
 				})
 			})
+			elapsed[r.Name] += time.Since(start)
 		}
 	}
-	diags = append(diags, runDeep(pkgs, rules)...)
+	diags = append(diags, runDeep(pkgs, rules, elapsed)...)
 	SortDiagnostics(diags)
-	return diags
+	var stats []RuleStat
+	for _, r := range rules {
+		if d, ok := elapsed[r.Name]; ok {
+			stats = append(stats, RuleStat{Name: r.Name, Elapsed: d})
+		}
+	}
+	if d, ok := elapsed[SubstrateStat]; ok {
+		stats = append(stats, RuleStat{Name: SubstrateStat, Elapsed: d})
+	}
+	return diags, stats
 }
 
 // SortDiagnostics orders findings by position then rule — the order
@@ -267,8 +306,9 @@ func SortDiagnostics(diags []Diagnostic) {
 
 // runDeep builds the Program (once) and runs every deep rule over
 // it, applying the same scope, test-file, and suppression policy as
-// the syntactic pass.
-func runDeep(pkgs []*Package, rules []Rule) []Diagnostic {
+// the syntactic pass. Wall time is accumulated into elapsed per rule,
+// with the Program build itself under SubstrateStat.
+func runDeep(pkgs []*Package, rules []Rule, elapsed map[string]time.Duration) []Diagnostic {
 	var deep []Rule
 	for _, r := range rules {
 		if r.DeepCheck != nil {
@@ -278,7 +318,9 @@ func runDeep(pkgs []*Package, rules []Rule) []Diagnostic {
 	if len(deep) == 0 || len(pkgs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	prog := NewProgram(pkgs)
+	elapsed[SubstrateStat] += time.Since(start)
 	allIgnores := ignoreSet{}
 	for _, p := range pkgs {
 		for file, lines := range collectIgnores(p) {
@@ -293,6 +335,7 @@ func runDeep(pkgs []*Package, rules []Rule) []Diagnostic {
 				scope = append(scope, p)
 			}
 		}
+		start := time.Now()
 		r.DeepCheck(prog, scope, func(pos token.Pos, format string, args ...any) {
 			position := prog.Fset.Position(pos)
 			owner := prog.pkgOf(position)
@@ -315,6 +358,7 @@ func runDeep(pkgs []*Package, rules []Rule) []Diagnostic {
 				Message: fmt.Sprintf(format, args...),
 			})
 		})
+		elapsed[r.Name] += time.Since(start)
 	}
 	return diags
 }

@@ -218,6 +218,36 @@ func f(sink chan func()) {
 	sink <- func() { n++ }
 }
 `, "closure escapes"},
+		{"guardedby", `package p
+import "sync"
+type T struct{ mu sync.Mutex; n int }
+func (t *T) Inc() { t.mu.Lock(); t.n++; t.mu.Unlock() }
+func (t *T) Dec() { t.mu.Lock(); t.n--; t.mu.Unlock() }
+func (t *T) Get() int { t.mu.Lock(); defer t.mu.Unlock(); return t.n }
+func (t *T) Peek() int { return t.n }
+`, "unguarded read of tipsy.T.n"},
+		{"guardedby", `package p
+import "sync"
+type T struct {
+	mu sync.RWMutex
+	//tipsy:guardedby mu
+	m map[string]int
+}
+func (t *T) Put(k string, v int) { t.mu.RLock(); t.m[k] = v; t.mu.RUnlock() }
+`, "under mu.RLock()"},
+		{"guardedby", `package p
+import "sync"
+type T struct {
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	n int
+}
+func (t *T) Go() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() { t.n++ }()
+}
+`, "escaping closure"},
 	}
 	for i, tc := range cases {
 		p, err := loader(t).LoadSource(fmt.Sprintf("deliberate%d.go", i), tc.src)

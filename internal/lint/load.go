@@ -45,20 +45,25 @@ type Loader struct {
 	ModuleRoot string // absolute path of the directory holding go.mod
 	ModulePath string // module path from go.mod, e.g. "tipsy"
 
-	std   types.Importer
+	std types.Importer
+	//tipsy:nolock type-checking is sequential; only the parse stage is parallel
 	cache map[string]*types.Package
-	busy  map[string]bool
+	//tipsy:nolock type-checking is sequential; only the parse stage is parallel
+	busy map[string]bool
 	// stdCache memoizes GOROOT type-checks in front of the source
 	// importer, so a standard-library package costs one check per
 	// loader no matter how many module packages import it.
+	//tipsy:nolock type-checking is sequential; only the parse stage is parallel
 	stdCache map[string]*types.Package
 
 	// parsed caches each file's AST by path so a file read both as a
 	// dependency (test-free Import) and for analysis (LoadDir with
 	// tests) is parsed exactly once. mu guards it during the parallel
 	// parse stage of LoadDirs; type-checking itself stays sequential.
-	mu        sync.Mutex
-	parsed    map[string]*ast.File
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	parsed map[string]*ast.File
+	//tipsy:guardedby mu
 	parseErrs map[string]error
 }
 

@@ -8,8 +8,9 @@ import (
 )
 
 // TestSARIFGolden pins the SARIF 2.1.0 envelope byte-for-byte: rule
-// metadata from the registry, one result per diagnostic, and the
-// schema/version header code-scanning ingestion keys on.
+// metadata from the registry (one syntactic rule, one deep rule), one
+// result per diagnostic, and the schema/version header code-scanning
+// ingestion keys on.
 func TestSARIFGolden(t *testing.T) {
 	p, err := loader(t).LoadSource("sarif_fixture.go", `package p
 import "time"
@@ -18,10 +19,24 @@ func f() int64 { return time.Now().Unix() }
 	if err != nil {
 		t.Fatal(err)
 	}
-	rules := []Rule{descope(ruleByName(t, "determinism"))}
+	gb, err := loader(t).LoadSource("sarif_guardedby_fixture.go", `package p
+import "sync"
+type counter struct {
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	n int
+}
+func (c *counter) Inc() { c.mu.Lock(); defer c.mu.Unlock(); c.n++ }
+func (c *counter) Peek() int { return c.n }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []Rule{descope(ruleByName(t, "determinism")), descope(ruleByName(t, "guardedby"))}
 	diags := Run([]*Package{p}, rules)
-	if len(diags) == 0 {
-		t.Fatal("fixture produced no diagnostics")
+	diags = append(diags, Run([]*Package{gb}, rules)...)
+	if len(diags) < 2 {
+		t.Fatalf("fixtures produced %d diagnostics, want one per rule", len(diags))
 	}
 	var buf bytes.Buffer
 	if err := WriteSARIF(&buf, diags, rules); err != nil {

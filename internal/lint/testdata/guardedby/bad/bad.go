@@ -1,0 +1,136 @@
+// Package fixture contains every violation class the guardedby rule
+// hunts: minority unguarded accesses against an inferred guard, an
+// explicit //tipsy:guardedby pin overriding the access ratio, a write
+// performed under only a read lock, a guarded access escaping into a
+// goroutine closure, a locked helper poisoned by one lock-free call
+// site, and malformed annotations.
+package fixture
+
+import "sync"
+
+// Counter demonstrates majority inference: three of four accesses to
+// n hold mu, so mu is inferred as n's guard and the lock-free read in
+// Peek is flagged.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Peek reads n without mu: the unguarded minority.
+func (c *Counter) Peek() int {
+	return c.n
+}
+
+// Gauge demonstrates the annotation override: only half of v's
+// accesses are locked — far below the inference threshold — but the
+// //tipsy:guardedby pin makes mu the guard regardless, so the
+// lock-free write in Reset is flagged.
+type Gauge struct {
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	v int
+}
+
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Reset() {
+	g.v = 0
+}
+
+// Table demonstrates RLock-write detection: Put mutates the map while
+// holding only the read lock, which admits concurrent readers.
+type Table struct {
+	mu sync.RWMutex
+	//tipsy:guardedby mu
+	m map[string]int
+}
+
+func (t *Table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *Table) Put(k string, v int) {
+	t.mu.RLock()
+	t.m[k] = v
+	t.mu.RUnlock()
+}
+
+// Job demonstrates closure escape: the goroutine body may run long
+// after Start's deferred unlock, so the critical section around the
+// go statement does not cover the write inside it.
+type Job struct {
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	state int
+}
+
+func (j *Job) Start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	go func() {
+		j.state++
+	}()
+}
+
+// Queue demonstrates the cross-method closure's failure mode: Push
+// calls pushLocked under mu but PushFast does not, so the
+// intersection over call sites is empty and the helper's accesses are
+// unguarded.
+type Queue struct {
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	items []int
+}
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	q.pushLocked(v)
+	q.mu.Unlock()
+}
+
+func (q *Queue) PushFast(v int) {
+	q.pushLocked(v)
+}
+
+func (q *Queue) pushLocked(v int) {
+	q.items = append(q.items, v)
+}
+
+// Config demonstrates the malformed annotations: a bare
+// //tipsy:nolock is void, and //tipsy:guardedby must name a mutex
+// field that exists.
+type Config struct {
+	mu sync.Mutex
+	//tipsy:nolock
+	flag bool
+	//tipsy:guardedby
+	level int
+	//tipsy:guardedby lock
+	depth int
+}
+
+func (c *Config) Flag() bool { return c.flag }

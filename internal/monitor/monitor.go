@@ -147,28 +147,45 @@ var alarmNames = []string{
 // Monitor is the online quality evaluator. Safe for concurrent use;
 // all state advances deterministically with the simulated clock.
 type Monitor struct {
+	//tipsy:nolock set in New and read-only afterwards; AdvanceTo
+	// reads cfg.OnAlarm outside mu by design so the hook can lock
+	// the monitor back
 	cfg Config
 
-	mu   sync.Mutex
-	met  metrics
+	mu  sync.Mutex
+	met metrics
+	//tipsy:guardedby mu
 	head wan.Hour // next hour to close; all hours below are final
 
+	//tipsy:guardedby mu
 	pending map[features.FlowFeatures]*pending
-	open    map[wan.Hour]map[features.FlowFeatures]*joinGroup
-	ring    []bucket
+	//tipsy:guardedby mu
+	open map[wan.Hour]map[features.FlowFeatures]*joinGroup
+	//tipsy:guardedby mu
+	ring []bucket
 
-	baseline     totals
-	baselineAt   wan.Hour
-	hasBaseline  bool
-	lastJoin     wan.Hour // last hour that joined any group
-	sawActivity  bool     // a prediction was ever recorded
+	//tipsy:guardedby mu
+	baseline totals
+	//tipsy:guardedby mu
+	baselineAt wan.Hour
+	//tipsy:guardedby mu
+	hasBaseline bool
+	//tipsy:guardedby mu
+	lastJoin wan.Hour // last hour that joined any group
+	//tipsy:guardedby mu
+	sawActivity bool // a prediction was ever recorded
+	//tipsy:guardedby mu
 	withdrawalAt wan.Hour // -1 when the post-withdrawal watch is disarmed
-	post         cell     // joined quality since withdrawalAt
+	//tipsy:guardedby mu
+	post cell // joined quality since withdrawalAt
 
+	//tipsy:guardedby mu
 	alarmList []*alarm
-	alarmByN  map[string]*alarm
+	//tipsy:guardedby mu
+	alarmByN map[string]*alarm
 	// fired queues newly-firing alarm statuses under mu; AdvanceTo
 	// drains it to cfg.OnAlarm after unlocking.
+	//tipsy:guardedby mu
 	fired []AlarmStatus
 }
 

@@ -109,7 +109,8 @@ type Sim struct {
 	dstPrefix []bgp.Prefix // per flow ID
 	meta      map[uint32]dstMeta
 
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	//tipsy:guardedby mu
 	withdrawn map[wdKey]bool
 	// anyWithdrawn lets Available skip the read lock entirely in the
 	// common no-withdrawals state; wdVer bumps on every announcement
@@ -118,18 +119,21 @@ type Sim struct {
 	wdVer        atomic.Uint64
 
 	cacheMu sync.RWMutex
-	cache   map[resKey][]LinkShare
+	//tipsy:guardedby cacheMu
+	cache map[resKey][]LinkShare
 
 	// resolvers pools resolution scratch for the public ResolveFlow;
 	// Run's workers hold their own. runMu serializes Run calls, which
 	// own runWorkers.
-	resolvers  sync.Pool
-	runMu      sync.Mutex
+	resolvers sync.Pool
+	runMu     sync.Mutex
+	//tipsy:guardedby runMu
 	runWorkers []*runWorker
 
 	// linkBytes is ground-truth per-link ingress volume per hour,
 	// filled in by Run.
-	lbMu      sync.Mutex
+	lbMu sync.Mutex
+	//tipsy:guardedby lbMu
 	linkBytes map[wan.Hour][]float64
 }
 

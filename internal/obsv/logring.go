@@ -11,9 +11,12 @@ import (
 // unbounded history. Writes never block beyond the mutex and never
 // allocate; old bytes are silently overwritten.
 type LogRing struct {
-	mu   sync.Mutex
-	buf  []byte
-	w    int // next write offset
+	mu sync.Mutex
+	//tipsy:guardedby mu
+	buf []byte
+	//tipsy:guardedby mu
+	w int // next write offset
+	//tipsy:guardedby mu
 	full bool
 }
 

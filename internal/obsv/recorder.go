@@ -20,9 +20,11 @@ type Recorder struct {
 const recShardCount = 8
 
 type recShard struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//tipsy:guardedby mu
 	buf []SpanRecord
-	n   uint64 // spans ever added to this shard; n % len(buf) is the write slot
+	//tipsy:guardedby mu
+	n uint64 // spans ever added to this shard; n % len(buf) is the write slot
 }
 
 // NewRecorder builds a recorder holding roughly capacity records
@@ -45,7 +47,11 @@ func (r *Recorder) Cap() int {
 	if r == nil {
 		return 0
 	}
-	return recShardCount * len(r.shards[0].buf)
+	sh := &r.shards[0]
+	sh.mu.Lock()
+	per := len(sh.buf)
+	sh.mu.Unlock()
+	return recShardCount * per
 }
 
 // add files one finished record. Span IDs are a process sequence, so

@@ -138,11 +138,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // cheap enough for setup paths but hot paths should hold on to the
 // returned pointer.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.RWMutex
+	//tipsy:guardedby mu
+	counters map[string]*Counter
+	//tipsy:guardedby mu
+	gauges map[string]*Gauge
+	//tipsy:guardedby mu
 	histograms map[string]*Histogram
-	infos      map[string]string
+	//tipsy:guardedby mu
+	infos map[string]string
 }
 
 // NewRegistry creates an empty registry.

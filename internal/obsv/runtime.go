@@ -18,7 +18,8 @@ import (
 // Sample is pull-driven: tipsyd calls it on each /metrics scrape and
 // before writing a diagnostic bundle, so idle processes pay nothing.
 type RuntimeBridge struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//tipsy:guardedby mu
 	samples []metrics.Sample
 
 	heapBytes  *Gauge

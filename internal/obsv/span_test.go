@@ -423,3 +423,37 @@ func TestSpanDumpGolden(t *testing.T) {
 		t.Errorf("span dump mismatch:\n--- got\n%s--- want\n%s", got, want)
 	}
 }
+
+// TestRecorderConcurrentCapAndAdds hammers add from several
+// goroutines while polling the read-side accessors: Cap once read
+// shard 0's buffer length without its lock, and this pins the locked
+// read under the race detector.
+func TestRecorderConcurrentCapAndAdds(t *testing.T) {
+	r := NewRecorder(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				rec := SpanRecord{ID: SpanID(uint64(w*500 + i)), Start: int64(i)}
+				r.add(&rec)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if got := r.Cap(); got != 32 {
+			t.Fatalf("Cap = %d, want 32", got)
+		}
+		_ = r.Len()
+		_ = r.Evicted()
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if got := r.Len(); got != 32 {
+		t.Fatalf("Len after fill = %d, want 32", got)
+	}
+	if got := r.Cap(); got != 32 {
+		t.Fatalf("Cap after fill = %d, want 32", got)
+	}
+}

@@ -73,23 +73,32 @@ type joinKey struct {
 // region and service) share one ID and therefore one accumulator,
 // exactly as a struct-keyed map would.
 type aggShard struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//tipsy:guardedby mu
 	join map[joinKey]int32 // -1: destination has no metadata, drop
 	// feats maps feature ID back to the tuple; featIndex dedupes
 	// tuples on join misses. feats entries are immutable once
 	// appended, so a slice header captured under the lock stays
 	// valid after release.
-	feats     []features.FlowFeatures
+	//tipsy:guardedby mu
+	feats []features.FlowFeatures
+	//tipsy:guardedby mu
 	featIndex map[features.FlowFeatures]int32
-	hours     map[wan.Hour]map[uint64]float64
+	//tipsy:guardedby mu
+	hours map[wan.Hour]map[uint64]float64
 	// curHour/cur cache the last hour's counter map: records arrive
 	// in long same-hour runs, so the hours lookup almost always skips.
+	//tipsy:guardedby mu
 	curHour wan.Hour
-	cur     map[uint64]float64
+	//tipsy:guardedby mu
+	cur map[uint64]float64
 	// lastKey/lastID memoize the most recent join: batches arrive
 	// flow-sorted, so consecutive records usually share the join key.
-	lastKey   joinKey
-	lastID    int32
+	//tipsy:guardedby mu
+	lastKey joinKey
+	//tipsy:guardedby mu
+	lastID int32
+	//tipsy:guardedby mu
 	lastValid bool
 }
 
@@ -134,13 +143,16 @@ type Aggregator struct {
 	m    aggregatorMetrics
 
 	truthMu sync.Mutex
-	truth   TruthSink
+	//tipsy:guardedby truthMu
+	truth TruthSink
 
 	// tracer + traceCtx attach the aggregator's spans (aggregate_batch,
 	// drain, truth_join) to the ingest cycle's trace. Set via SetTrace
 	// before ingest begins; the nil tracer / zero context default
 	// disables span emission at the cost of one nil check per batch.
-	tracer   *obsv.Tracer
+	//tipsy:nolock set via SetTrace before ingest begins, constant after
+	tracer *obsv.Tracer
+	//tipsy:nolock set via SetTrace before ingest begins, constant after
 	traceCtx obsv.SpanContext
 }
 
@@ -320,6 +332,8 @@ func (a *Aggregator) SetTrace(t *obsv.Tracer, sc obsv.SpanContext) {
 // of the sharding, so output order is byte-identical to a single-map
 // aggregator's. When a truth sink is registered, the drained records
 // are also streamed to it in the same order.
+//
+//tipsy:guardedby-skip every shard lock is taken in a loop before any shard is touched; the must-hold dataflow cannot see this quantified all-shards critical section
 func (a *Aggregator) Records() []features.Record {
 	sp := a.tracer.StartFrom(a.traceCtx, "drain")
 	var hours [aggShards]map[wan.Hour]map[uint64]float64

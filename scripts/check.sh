@@ -2,8 +2,9 @@
 # check.sh — the repository's full verify gate.
 #
 # Runs, in order: formatting, go vet, build, tipsylint (the project's
-# own static-analysis suite: determinism, lock hygiene, wire-encoder
-# safety, goroutine hygiene, metrics, hot-path allocation budget),
+# own static-analysis suite: determinism, lock hygiene, lock-guard
+# inference / static race lint, wire-encoder safety, goroutine
+# hygiene, metrics, hot-path allocation budget),
 # the allocation-budget ratchet gate (regenerating the budget must
 # reproduce the committed .tipsy-allocbudget.json byte for byte), the
 # test suite under the race detector with a total-coverage floor, a
@@ -36,8 +37,11 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> tipsylint ./..."
-go run ./cmd/tipsylint ./...
+echo "==> tipsylint -stats ./..."
+go run ./cmd/tipsylint -stats ./...
+
+echo "==> tipsylint -rules guardedby ./... (static race lint)"
+go run ./cmd/tipsylint -rules guardedby ./...
 
 echo "==> tipsylint -rules hotpath ./... (allocation budget)"
 go run ./cmd/tipsylint -rules hotpath ./...
